@@ -1,0 +1,33 @@
+//! Criterion bench for the Figure 1 experiment (k-SSP landscape): wall-clock
+//! time of the Theorem 14 skeleton scheduler for growing source counts.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybrid_core::kssp::{kssp, KsspVariant};
+use hybrid_core::prob::sample_distinct;
+use hybrid_graph::generators;
+use hybrid_sim::HybridNetwork;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_kssp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1_kssp");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let graph = Arc::new(generators::erdos_renyi(400, 6.0 / 400.0, &mut rng).unwrap());
+    for k in [8usize, 32, 128] {
+        let sources = sample_distinct(graph.n(), k, &mut rng);
+        group.bench_with_input(BenchmarkId::new("theorem14", k), &sources, |b, sources| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            b.iter(|| {
+                let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
+                kssp(&mut net, sources, 1.0, KsspVariant::RandomSources, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kssp);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for the Appendix B experiment: cost of computing the
+//! neighborhood-quality parameter `NQ_k` (oracle construction + queries) and
+//! of the Lemma 3.5 clustering on the special graph families.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybrid_core::cluster::cluster_by_nq;
+use hybrid_core::nq::NqOracle;
+use hybrid_graph::generators;
+use hybrid_sim::HybridNetwork;
+
+fn bench_nq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appendix_b_nq");
+    group.sample_size(10);
+    for (name, graph) in [
+        ("path-1024", generators::path(1024).unwrap()),
+        ("grid-32x32", generators::grid(&[32, 32]).unwrap()),
+        ("grid-10x10x10", generators::grid(&[10, 10, 10]).unwrap()),
+    ] {
+        let graph = Arc::new(graph);
+        group.bench_with_input(BenchmarkId::new("nq_oracle_build", name), &graph, |b, g| {
+            b.iter(|| NqOracle::new(g))
+        });
+        let oracle = NqOracle::new(&graph);
+        group.bench_with_input(BenchmarkId::new("nq_query_sweep", name), &graph, |b, _| {
+            b.iter(|| {
+                (1..=10u64)
+                    .map(|i| oracle.nq(i * i * 10))
+                    .collect::<Vec<_>>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lemma35_clustering", name), &graph, |b, g| {
+            b.iter(|| {
+                let mut net = HybridNetwork::hybrid0(Arc::clone(g));
+                cluster_by_nq(&mut net, &oracle, g.n() as u64 / 2)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nq);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for the Table 1 experiment (information dissemination):
+//! wall-clock time of the universal `k`-dissemination (Theorem 1) vs. the
+//! existential `Õ(√k)` baseline on a 2-D grid and a path.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybrid_core::dissemination::{baseline_sqrt_k_dissemination, k_dissemination, place_tokens};
+use hybrid_core::nq::NqOracle;
+use hybrid_graph::generators;
+use hybrid_sim::HybridNetwork;
+
+fn bench_dissemination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_dissemination");
+    group.sample_size(10);
+    for (name, graph) in [
+        ("grid-16x16", generators::grid(&[16, 16]).unwrap()),
+        ("path-256", generators::path(256).unwrap()),
+    ] {
+        let graph = Arc::new(graph);
+        let oracle = NqOracle::new(&graph);
+        let tokens = place_tokens(&(0..graph.n() as u32).collect::<Vec<_>>(), 128);
+        group.bench_with_input(
+            BenchmarkId::new("universal_theorem1", name),
+            &tokens,
+            |b, tokens| {
+                b.iter(|| {
+                    let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
+                    k_dissemination(&mut net, &oracle, tokens)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline_sqrt_k", name),
+            &tokens,
+            |b, tokens| {
+                b.iter(|| {
+                    let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
+                    baseline_sqrt_k_dissemination(&mut net, &oracle, tokens)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dissemination);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for the Table 2 experiment (APSP): wall-clock time of the
+//! Theorem 6 / Theorem 7 pipelines and the structured `√n` baseline.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid_core::apsp;
+use hybrid_core::nq::NqOracle;
+use hybrid_graph::generators;
+use hybrid_sim::HybridNetwork;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_apsp");
+    group.sample_size(10);
+
+    let grid = Arc::new(generators::grid(&[12, 12]).unwrap());
+    let grid_oracle = NqOracle::new(&grid);
+    group.bench_function("theorem6_unweighted_grid144", |b| {
+        b.iter(|| {
+            let mut net = HybridNetwork::hybrid0(Arc::clone(&grid));
+            apsp::apsp_unweighted(&mut net, &grid_oracle, 0.5)
+        })
+    });
+    group.bench_function("baseline_sqrt_n_grid144", |b| {
+        b.iter(|| {
+            let mut net = HybridNetwork::hybrid0(Arc::clone(&grid));
+            apsp::baseline_unweighted_apsp_sqrt_n(&mut net, &grid_oracle, 0.5)
+        })
+    });
+
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let weighted = Arc::new(generators::weighted_grid(&[10, 10], 16, &mut rng).unwrap());
+    let weighted_oracle = NqOracle::new(&weighted);
+    group.bench_function("theorem7_weighted_spanner_grid100", |b| {
+        b.iter(|| {
+            let mut net = HybridNetwork::hybrid0(Arc::clone(&weighted));
+            apsp::apsp_weighted_spanner(&mut net, &weighted_oracle, 0.5)
+        })
+    });
+    group.bench_function("theorem8_weighted_skeleton_grid100", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        b.iter(|| {
+            let mut net = HybridNetwork::hybrid0(Arc::clone(&weighted));
+            apsp::apsp_weighted_skeleton(&mut net, &weighted_oracle, 1, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apsp);
+criterion_main!(benches);

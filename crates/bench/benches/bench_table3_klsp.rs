@@ -1,0 +1,58 @@
+//! Criterion bench for the Table 3 experiment (`(k, ℓ)`-SP): wall-clock time
+//! of Theorem 5 and of the `(k, ℓ)`-routing layer it relies on.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybrid_core::klsp::{klsp, KlspScenario};
+use hybrid_core::nq::NqOracle;
+use hybrid_core::prob::sample_distinct;
+use hybrid_core::routing::{kl_routing, RoutingScenario};
+use hybrid_graph::generators;
+use hybrid_sim::HybridNetwork;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_klsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_klsp");
+    group.sample_size(10);
+    let graph = Arc::new(generators::grid(&[12, 12]).unwrap());
+    let oracle = NqOracle::new(&graph);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let sources = sample_distinct(graph.n(), 32, &mut rng);
+    let targets = sample_distinct(graph.n(), 6, &mut rng);
+
+    group.bench_function("theorem5_klsp_grid144_k32", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| {
+            let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
+            klsp(
+                &mut net,
+                &oracle,
+                &sources,
+                &targets,
+                0.5,
+                KlspScenario::ArbitrarySourcesRandomTargets,
+                &mut rng,
+            )
+        })
+    });
+    group.bench_function("theorem3_routing_grid144_k32", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| {
+            let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
+            kl_routing(
+                &mut net,
+                &oracle,
+                &sources,
+                &targets,
+                RoutingScenario::ArbitrarySourcesRandomTargets,
+                &mut rng,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_klsp);
+criterion_main!(benches);

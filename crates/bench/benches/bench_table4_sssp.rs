@@ -1,0 +1,40 @@
+//! Criterion bench for the Table 4 experiment (SSSP): wall-clock time of the
+//! Theorem 13 SSSP and the prior-work baselines on graphs of growing size.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybrid_core::sssp::{baseline_sssp, sssp_approx, SsspBaseline};
+use hybrid_graph::generators;
+use hybrid_sim::HybridNetwork;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_sssp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_sssp");
+    group.sample_size(10);
+    for side in [16usize, 32] {
+        let mut rng = ChaCha8Rng::seed_from_u64(side as u64);
+        let graph = Arc::new(generators::weighted_grid(&[side, side], 32, &mut rng).unwrap());
+        group.bench_with_input(BenchmarkId::new("theorem13", side * side), &graph, |b, g| {
+            b.iter(|| {
+                let mut net = HybridNetwork::hybrid0(Arc::clone(g));
+                sssp_approx(&mut net, 0, 0.25)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("baseline_ks20", side * side),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let mut net = HybridNetwork::hybrid0(Arc::clone(g));
+                    baseline_sssp(&mut net, 0, SsspBaseline::Ks20SqrtN)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sssp);
+criterion_main!(benches);

@@ -1,0 +1,210 @@
+//! `reproduce` — regenerates the paper's tables and figures as round-count
+//! tables, printing them in a paper-like layout and writing machine-readable
+//! JSON into `results/`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p hybrid-bench --bin reproduce -- [table1|table2|table3|table4|figure1|appendix-b|all] [--quick]
+//! ```
+//!
+//! `--quick` shrinks the instance sizes so the full run finishes in well under
+//! a minute (used by CI and by the recorded EXPERIMENTS.md runs on small
+//! machines); without it the default sizes are used.
+
+use std::fs;
+use std::path::Path;
+
+use hybrid_bench::scenarios::{
+    appendix_b_rows, figure1_rows, table1_rows, table2_rows, table3_rows, table4_rows,
+    GraphFamily,
+};
+use serde::Serialize;
+
+fn write_json<T: Serialize>(name: &str, rows: &T) {
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(rows) {
+        let _ = fs::write(&path, json);
+        println!("  (wrote {})", path.display());
+    }
+}
+
+fn run_table1(quick: bool) {
+    let n = if quick { 256 } else { 1024 };
+    let ks: Vec<u64> = if quick {
+        vec![16, 64, 256]
+    } else {
+        vec![16, 64, 256, 1024]
+    };
+    println!("\n=== Table 1: information dissemination (n = {n}) ===");
+    println!(
+        "{:<18}{:>6}{:>6}{:>8}{:>12}{:>12}{:>12}{:>12}{:>12}{:>10}",
+        "family", "k", "NQ_k", "sqrt(k)", "bcast-UNIV", "bcast-BASE", "aggr-UNIV", "route-UNIV",
+        "route-BASE", "lower-bnd"
+    );
+    let rows = table1_rows(GraphFamily::all(), n, &ks, 0xC0FFEE);
+    for r in &rows {
+        println!(
+            "{:<18}{:>6}{:>6}{:>8}{:>12}{:>12}{:>12}{:>12}{:>12}{:>10.2}",
+            r.family,
+            r.k,
+            r.nq,
+            r.sqrt_k,
+            r.dissemination_universal,
+            r.dissemination_baseline,
+            r.aggregation_universal,
+            r.routing_universal,
+            r.routing_baseline,
+            r.lower_bound
+        );
+    }
+    write_json("table1_dissemination", &rows);
+}
+
+fn run_table2(quick: bool) {
+    let n = if quick { 144 } else { 400 };
+    println!("\n=== Table 2: APSP (n = {n}) ===");
+    println!(
+        "{:<14}{:>6}{:>7}{:>8}{:>11}{:>9}{:>11}{:>11}{:>9}{:>11}{:>9}{:>10}{:>10}",
+        "family", "n", "NQ_n", "sqrt(n)", "T6-UNIV", "T6-str", "T6-BASE", "T7-UNIV", "T7-str",
+        "T8-UNIV", "T8-str", "lit-sqrt", "lower-bnd"
+    );
+    let rows = table2_rows(GraphFamily::core_families(), n, 0xBEEF);
+    for r in &rows {
+        println!(
+            "{:<14}{:>6}{:>7}{:>8}{:>11}{:>9.3}{:>11}{:>11}{:>9.3}{:>11}{:>9.3}{:>10}{:>10.2}",
+            r.family,
+            r.n,
+            r.nq_n,
+            r.sqrt_n,
+            r.unweighted_universal,
+            r.unweighted_stretch,
+            r.unweighted_baseline,
+            r.weighted_spanner_universal,
+            r.weighted_spanner_stretch,
+            r.weighted_skeleton_universal,
+            r.weighted_skeleton_stretch,
+            r.literature_sqrt_n,
+            r.lower_bound
+        );
+    }
+    write_json("table2_apsp", &rows);
+}
+
+fn run_table3(quick: bool) {
+    let n = if quick { 196 } else { 400 };
+    let ks: Vec<u64> = if quick { vec![16, 64] } else { vec![16, 64, 144] };
+    println!("\n=== Table 3: (k, l)-shortest paths (n = {n}) ===");
+    println!(
+        "{:<14}{:>6}{:>5}{:>6}{:>8}{:>10}{:>9}{:>10}{:>10}",
+        "family", "k", "l", "NQ_k", "sqrt(k)", "T5-UNIV", "stretch", "baseline", "lower-bnd"
+    );
+    let rows = table3_rows(GraphFamily::core_families(), n, &ks, 0xFACE);
+    for r in &rows {
+        println!(
+            "{:<14}{:>6}{:>5}{:>6}{:>8}{:>10}{:>9.3}{:>10}{:>10.2}",
+            r.family, r.k, r.l, r.nq, r.sqrt_k, r.universal, r.stretch, r.baseline, r.lower_bound
+        );
+    }
+    write_json("table3_klsp", &rows);
+}
+
+fn run_table4(quick: bool) {
+    let sizes: Vec<usize> = if quick {
+        vec![64, 256, 1024]
+    } else {
+        vec![64, 256, 1024, 4096]
+    };
+    println!("\n=== Table 4: SSSP ===");
+    println!(
+        "{:<18}{:>7}{:>10}{:>10}{:>12}{:>10}{:>10}{:>10}",
+        "family", "n", "T13-ours", "stretch", "KS20-sqrt", "CHLP21", "AHK20", "AG21"
+    );
+    let rows = table4_rows(
+        &[GraphFamily::Grid2D, GraphFamily::ErdosRenyi, GraphFamily::Path],
+        &sizes,
+        0xDEAD,
+    );
+    for r in &rows {
+        println!(
+            "{:<18}{:>7}{:>10}{:>10.3}{:>12}{:>10}{:>10}{:>10}",
+            r.family, r.n, r.theorem13, r.theorem13_stretch, r.ks20_sqrt_n, r.chlp21, r.ahk20,
+            r.ag21
+        );
+    }
+    write_json("table4_sssp", &rows);
+}
+
+fn run_figure1(quick: bool) {
+    let n = if quick { 512 } else { 1024 };
+    let betas = [0.0, 1.0 / 6.0, 1.0 / 3.0, 0.5, 2.0 / 3.0, 5.0 / 6.0, 1.0];
+    println!("\n=== Figure 1: k-SSP landscape (k = n^beta, n = {n}) ===");
+    println!(
+        "{:<8}{:>8}{:>12}{:>10}{:>12}{:>12}{:>12}",
+        "beta", "k", "new(T14)", "delta", "prior", "prior-delta", "lower-bnd"
+    );
+    let rows = figure1_rows(n, &betas, 0xF16);
+    for r in &rows {
+        println!(
+            "{:<8.3}{:>8}{:>12}{:>10.3}{:>12}{:>12.3}{:>12}",
+            r.beta, r.k, r.new_algorithm, r.new_delta, r.prior_algorithm, r.prior_delta,
+            r.lower_bound
+        );
+    }
+    write_json("figure1_kssp", &rows);
+}
+
+fn run_appendix_b(quick: bool) {
+    let n = if quick { 512 } else { 2048 };
+    let ks: Vec<u64> = vec![16, 64, 256, 1024, 4096];
+    println!("\n=== Appendix B / Theorems 15-17: NQ_k on special families (n ~ {n}) ===");
+    println!(
+        "{:<12}{:>7}{:>6}{:>7}{:>10}{:>11}  {}",
+        "family", "n", "D", "k", "measured", "predicted", "formula"
+    );
+    let rows = appendix_b_rows(n, &ks, 0xAB);
+    for r in &rows {
+        println!(
+            "{:<12}{:>7}{:>6}{:>7}{:>10}{:>11.2}  {}",
+            r.family, r.n, r.diameter, r.k, r.measured, r.predicted, r.formula
+        );
+    }
+    write_json("appendix_b_nq", &rows);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    match what.as_str() {
+        "table1" => run_table1(quick),
+        "table2" => run_table2(quick),
+        "table3" => run_table3(quick),
+        "table4" => run_table4(quick),
+        "figure1" => run_figure1(quick),
+        "appendix-b" => run_appendix_b(quick),
+        "all" => {
+            run_table1(quick);
+            run_table2(quick);
+            run_table3(quick);
+            run_table4(quick);
+            run_figure1(quick);
+            run_appendix_b(quick);
+        }
+        other => {
+            eprintln!(
+                "unknown target '{other}'; expected table1|table2|table3|table4|figure1|appendix-b|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

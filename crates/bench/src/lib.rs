@@ -1,0 +1,25 @@
+//! # hybrid-bench
+//!
+//! Benchmark harness that regenerates the *shape* of every table and figure
+//! of the PODC 2024 paper (see DESIGN.md for the experiment index):
+//!
+//! * Table 1 — information dissemination (broadcast / aggregation / unicast);
+//! * Table 2 — APSP;
+//! * Table 3 — `(k, ℓ)`-SP;
+//! * Table 4 — SSSP;
+//! * Figure 1 — the k-SSP complexity landscape;
+//! * Appendix B / Theorems 15–17 — `NQ_k` on special graph families.
+//!
+//! The round-count reproduction lives in the [`scenarios`] module and is
+//! driven by the `reproduce` binary (`cargo run -p hybrid-bench --bin
+//! reproduce -- all`), which prints paper-style tables and writes
+//! machine-readable JSON next to them.  The Criterion benches (in `benches/`)
+//! measure the wall-clock performance of the implementation itself on the
+//! same scenarios.
+
+pub mod scenarios;
+
+pub use scenarios::{
+    appendix_b_rows, figure1_rows, table1_rows, table2_rows, table3_rows, table4_rows,
+    GraphFamily,
+};

@@ -1,0 +1,616 @@
+//! Universally optimal multi-message broadcast: `k`-dissemination
+//! (Theorem 1), `k`-aggregation (Theorem 2), the uniform load-balancing
+//! primitive (Lemma 4.1) and the existentially optimal `Õ(√k)` baseline of
+//! [AHK+20] used as the comparison row of Table 1.
+//!
+//! # Algorithm (Theorem 1, see also Figure 2 of the paper)
+//!
+//! 1. **Clustering** — partition `V` into clusters of weak diameter
+//!    `Õ(NQ_k)` and size `Θ(k/NQ_k)` (Lemma 3.5);
+//! 2. **Cluster chaining** — build a logarithmic-depth, logarithmic-degree
+//!    virtual tree over the cluster leaders (Lemma 4.6) and rank-match the
+//!    members of adjacent clusters so they can talk over the global network;
+//! 3. **Load balancing** — spread each cluster's tokens evenly over its
+//!    members (Lemma 4.1), so nobody holds more than `≈ NQ_k` tokens;
+//! 4. **Dissemination** — converge-cast all tokens up the cluster tree and
+//!    broadcast them back down (each hop is a batch of global messages,
+//!    scheduled under the per-node capacity), then flood inside each cluster
+//!    over the local network.
+//!
+//! The *baseline* runs the identical pipeline with the radius forced to
+//! `min(√k, D)` — the best bound available without looking at the topology —
+//! which is exactly how the existentially optimal algorithms behave.  On
+//! graphs whose neighbourhoods grow faster than a path's, `NQ_k ≪ √k` and the
+//! universal algorithm wins; on paths the two coincide (Theorem 15).
+
+use std::collections::BTreeSet;
+
+use hybrid_graph::NodeId;
+use hybrid_sim::{CostMeter, GlobalMessage, HybridNetwork};
+
+use crate::cluster::cluster_with_radius;
+use crate::nq::{compute_nq, NqOracle};
+use crate::overlay::{basic_aggregation, VirtualTree};
+
+/// A token to broadcast: the node that initially holds it and its value.
+pub type TokenPlacement = (NodeId, u64);
+
+/// Which radius policy the dissemination engine used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadiusPolicy {
+    /// The universal algorithm: radius `NQ_k` (Theorem 1).
+    NeighborhoodQuality,
+    /// The existential baseline: radius `min(⌈√k⌉, D)` ([AHK+20]).
+    WorstCaseSqrtK,
+    /// An explicitly chosen radius (used by tests and ablations).
+    Fixed(u64),
+}
+
+/// Output of a `k`-dissemination run.
+#[derive(Debug, Clone)]
+pub struct DisseminationOutput {
+    /// Number of distinct tokens broadcast.
+    pub k: u64,
+    /// The measured `NQ_k` of the graph (for reference, also for baseline runs).
+    pub nq: u64,
+    /// The radius parameter the run actually used.
+    pub radius: u64,
+    /// Radius policy.
+    pub policy: RadiusPolicy,
+    /// Total rounds consumed.
+    pub rounds: u64,
+    /// Full cost trace.
+    pub meter: CostMeter,
+    /// The sorted set of token values every node knows at the end.
+    pub tokens: Vec<u64>,
+    /// Maximum number of tokens any single node had to hold after load
+    /// balancing (≈ radius, by Lemma 4.1 + Lemma 3.5).
+    pub max_tokens_per_node: u64,
+}
+
+/// Output of a `k`-aggregation run.
+#[derive(Debug, Clone)]
+pub struct AggregationOutput {
+    /// Number of aggregation functions (`k`).
+    pub k: u64,
+    /// The measured `NQ_k`.
+    pub nq: u64,
+    /// Total rounds consumed.
+    pub rounds: u64,
+    /// Full cost trace.
+    pub meter: CostMeter,
+    /// The `k` aggregate values, known to every node at the end.
+    pub results: Vec<u64>,
+}
+
+/// Lemma 4.1 — uniform load balancing: given a cluster of weak diameter `d`
+/// holding `tokens`, assigns every member at most `⌈|tokens|/|C|⌉` tokens.
+/// Charges `2d` local rounds on `net` when `charge` is set.
+///
+/// Returns, for every member (by index into `members`), the tokens it is
+/// responsible for.
+pub fn load_balance_cluster(
+    net: &mut HybridNetwork,
+    members: &[NodeId],
+    tokens: &[u64],
+    weak_diameter: u64,
+    charge: bool,
+) -> Vec<Vec<u64>> {
+    assert!(!members.is_empty(), "cluster must have at least one member");
+    if charge {
+        net.charge_local("dissemination/load-balance", 2 * weak_diameter.max(1));
+    }
+    let mut assignment = vec![Vec::new(); members.len()];
+    for (i, &t) in tokens.iter().enumerate() {
+        assignment[i % members.len()].push(t);
+    }
+    assignment
+}
+
+/// Theorem 1 — universally optimal `k`-dissemination in `Õ(NQ_k)` rounds
+/// (deterministic, `Hybrid0`).
+pub fn k_dissemination(
+    net: &mut HybridNetwork,
+    oracle: &NqOracle,
+    tokens: &[TokenPlacement],
+) -> DisseminationOutput {
+    let k = tokens.len() as u64;
+    let nq = compute_nq(net, oracle, k.max(1)).nq.max(1);
+    disseminate_with_radius(net, oracle, tokens, nq, RadiusPolicy::NeighborhoodQuality)
+}
+
+/// The existentially optimal baseline ([AHK+20]): the identical pipeline with
+/// the worst-case radius `min(⌈√k⌉, D)` instead of `NQ_k`, costing `Õ(√k)`
+/// rounds on every graph.
+pub fn baseline_sqrt_k_dissemination(
+    net: &mut HybridNetwork,
+    oracle: &NqOracle,
+    tokens: &[TokenPlacement],
+) -> DisseminationOutput {
+    let k = tokens.len() as u64;
+    let radius = ((k.max(1) as f64).sqrt().ceil() as u64)
+        .max(1)
+        .min(oracle.diameter().max(1));
+    disseminate_with_radius(net, oracle, tokens, radius, RadiusPolicy::WorstCaseSqrtK)
+}
+
+/// The shared dissemination engine with an explicit radius parameter.
+pub fn disseminate_with_radius(
+    net: &mut HybridNetwork,
+    oracle: &NqOracle,
+    tokens: &[TokenPlacement],
+    radius: u64,
+    policy: RadiusPolicy,
+) -> DisseminationOutput {
+    let before = net.rounds();
+    let graph = net.graph_arc();
+    let n = graph.n();
+    let k = tokens.len() as u64;
+
+    // Phase 0: count k with the basic aggregation primitive (Lemma 4.4).
+    let counts: Vec<u64> = {
+        let mut c = vec![0u64; n];
+        for &(holder, _) in tokens {
+            c[holder as usize] += 1;
+        }
+        c
+    };
+    let counted = basic_aggregation(net, &counts, |a, b| a + b);
+    debug_assert_eq!(counted.value, k);
+
+    if k == 0 {
+        return DisseminationOutput {
+            k,
+            nq: oracle.nq(1),
+            radius,
+            policy,
+            rounds: net.rounds() - before,
+            meter: net.meter().clone(),
+            tokens: Vec::new(),
+            max_tokens_per_node: 0,
+        };
+    }
+
+    // Phase 1: clustering with the prescribed radius (Lemma 3.5).
+    let clustering = cluster_with_radius(net, radius, k);
+
+    // Phase 2a: cluster tree over the leaders (Lemma 4.6).
+    let leaders: Vec<NodeId> = clustering.clusters.iter().map(|c| c.leader).collect();
+    let cluster_tree = VirtualTree::build(net, &leaders);
+    // Map tree position -> cluster index.
+    let pos_to_cluster: Vec<usize> = cluster_tree
+        .participants
+        .iter()
+        .map(|leader| {
+            clustering
+                .clusters
+                .iter()
+                .position(|c| c.leader == *leader)
+                .expect("leader has a cluster")
+        })
+        .collect();
+
+    // Phase 2b: cluster chaining — rank-matched members of adjacent clusters
+    // exchange identifiers over the global network.
+    let mut chaining_msgs: Vec<GlobalMessage> = Vec::new();
+    for pos in 1..cluster_tree.len() {
+        let parent_pos = cluster_tree.parent[pos].expect("non-root");
+        let child = &clustering.clusters[pos_to_cluster[pos]];
+        let parent = &clustering.clusters[pos_to_cluster[parent_pos]];
+        for (rank, &member) in child.members.iter().enumerate() {
+            let counterpart = parent.members[rank % parent.members.len()];
+            chaining_msgs.push(GlobalMessage::new(member, counterpart));
+            chaining_msgs.push(GlobalMessage::new(counterpart, member));
+        }
+    }
+    net.deliver_global("dissemination/cluster-chaining", &chaining_msgs);
+
+    // Phase 3: per-cluster load balancing of the initial tokens (Lemma 4.1).
+    let mut cluster_tokens: Vec<Vec<u64>> = vec![Vec::new(); clustering.len()];
+    for &(holder, value) in tokens {
+        cluster_tokens[clustering.cluster_of[holder as usize]].push(value);
+    }
+    net.charge_local(
+        "dissemination/load-balance",
+        2 * clustering.weak_diameter_bound.max(1),
+    );
+
+    // Phase 4a: converge-cast all tokens up the cluster tree, level by level.
+    // Clusters accumulate the token sets of their subtrees.
+    let levels = cluster_tree.levels();
+    let mut known: Vec<BTreeSet<u64>> = cluster_tokens
+        .iter()
+        .map(|ts| ts.iter().copied().collect())
+        .collect();
+    let mut max_tokens_per_node = 0u64;
+    for level in levels.iter().rev() {
+        let mut batch: Vec<GlobalMessage> = Vec::new();
+        let mut transfers: Vec<(usize, Vec<u64>)> = Vec::new();
+        for &pos in level {
+            let Some(parent_pos) = cluster_tree.parent[pos] else {
+                continue;
+            };
+            let child_idx = pos_to_cluster[pos];
+            let parent_idx = pos_to_cluster[parent_pos];
+            let child = &clustering.clusters[child_idx];
+            let parent = &clustering.clusters[parent_idx];
+            let payload: Vec<u64> = known[child_idx].iter().copied().collect();
+            max_tokens_per_node =
+                max_tokens_per_node.max(payload.len().div_ceil(child.members.len()) as u64);
+            for (i, _token) in payload.iter().enumerate() {
+                let from = child.members[i % child.members.len()];
+                let to = parent.members[i % parent.members.len()];
+                batch.push(GlobalMessage::new(from, to));
+            }
+            transfers.push((parent_idx, payload));
+        }
+        if !batch.is_empty() {
+            // Re-balance inside each cluster before sending (Lemma 4.1).
+            net.charge_local(
+                "dissemination/load-balance",
+                2 * clustering.weak_diameter_bound.max(1),
+            );
+            net.deliver_global("dissemination/converge-cast-up", &batch);
+        }
+        for (parent_idx, payload) in transfers {
+            known[parent_idx].extend(payload);
+        }
+    }
+    let root_cluster = pos_to_cluster[cluster_tree.root()];
+    debug_assert_eq!(
+        known[root_cluster].len(),
+        tokens
+            .iter()
+            .map(|&(_, v)| v)
+            .collect::<BTreeSet<_>>()
+            .len(),
+        "root cluster must have gathered every distinct token"
+    );
+
+    // Phase 4b: broadcast all tokens back down the tree, level by level.
+    let all_tokens: Vec<u64> = known[root_cluster].iter().copied().collect();
+    for level in levels.iter() {
+        let mut batch: Vec<GlobalMessage> = Vec::new();
+        for &pos in level {
+            let Some(parent_pos) = cluster_tree.parent[pos] else {
+                continue;
+            };
+            let child_idx = pos_to_cluster[pos];
+            let parent_idx = pos_to_cluster[parent_pos];
+            let child = &clustering.clusters[child_idx];
+            let parent = &clustering.clusters[parent_idx];
+            for (i, _token) in all_tokens.iter().enumerate() {
+                let from = parent.members[i % parent.members.len()];
+                let to = child.members[i % child.members.len()];
+                batch.push(GlobalMessage::new(from, to));
+            }
+            known[child_idx].extend(all_tokens.iter().copied());
+        }
+        if !batch.is_empty() {
+            net.charge_local(
+                "dissemination/load-balance",
+                2 * clustering.weak_diameter_bound.max(1),
+            );
+            net.deliver_global("dissemination/broadcast-down", &batch);
+        }
+    }
+
+    // Phase 5: flood all tokens inside each cluster over the local network.
+    net.charge_local(
+        "dissemination/intra-cluster-flood",
+        clustering.weak_diameter_bound.max(1),
+    );
+
+    // Every cluster now knows every token.
+    debug_assert!(known.iter().all(|s| s.len() == all_tokens.len()));
+
+    DisseminationOutput {
+        k,
+        nq: oracle.nq(k),
+        radius,
+        policy,
+        rounds: net.rounds() - before,
+        meter: net.meter().clone(),
+        tokens: all_tokens,
+        max_tokens_per_node,
+    }
+}
+
+/// Theorem 2 — universally optimal `k`-aggregation in `Õ(NQ_k)` rounds:
+/// every node holds `k` values `f_1(v), …, f_k(v)`; afterwards every node
+/// knows `F(f_i(v_1), …, f_i(v_n))` for all `i`.
+///
+/// `values[v]` must have length `k` for every node `v`; `f` must be
+/// associative and commutative.
+pub fn k_aggregation(
+    net: &mut HybridNetwork,
+    oracle: &NqOracle,
+    values: &[Vec<u64>],
+    f: impl Fn(u64, u64) -> u64 + Copy,
+) -> AggregationOutput {
+    let before = net.rounds();
+    let n = net.graph().n();
+    assert_eq!(values.len(), n, "one value vector per node required");
+    let k = values.first().map_or(0, Vec::len);
+    assert!(
+        values.iter().all(|v| v.len() == k),
+        "every node must hold exactly k values"
+    );
+    if k == 0 {
+        return AggregationOutput {
+            k: 0,
+            nq: oracle.nq(1),
+            rounds: 0,
+            meter: net.meter().clone(),
+            results: Vec::new(),
+        };
+    }
+
+    let nq = compute_nq(net, oracle, k as u64).nq.max(1);
+    let clustering = cluster_with_radius(net, nq, k as u64);
+
+    // Phase 1: intra-cluster aggregation over the local network
+    // (weak-diameter rounds), then load balancing.
+    let mut partials: Vec<Vec<u64>> = Vec::with_capacity(clustering.len());
+    for c in &clustering.clusters {
+        let mut agg = values[c.members[0] as usize].clone();
+        for &m in &c.members[1..] {
+            for (i, &x) in values[m as usize].iter().enumerate() {
+                agg[i] = f(agg[i], x);
+            }
+        }
+        partials.push(agg);
+    }
+    net.charge_local(
+        "aggregation/intra-cluster",
+        clustering.weak_diameter_bound.max(1),
+    );
+    net.charge_local(
+        "aggregation/load-balance",
+        2 * clustering.weak_diameter_bound.max(1),
+    );
+
+    // Phase 2: converge-cast the k partial aggregates up the cluster tree.
+    let leaders: Vec<NodeId> = clustering.clusters.iter().map(|c| c.leader).collect();
+    let cluster_tree = VirtualTree::build(net, &leaders);
+    let pos_to_cluster: Vec<usize> = cluster_tree
+        .participants
+        .iter()
+        .map(|leader| {
+            clustering
+                .clusters
+                .iter()
+                .position(|c| c.leader == *leader)
+                .expect("leader has a cluster")
+        })
+        .collect();
+    let levels = cluster_tree.levels();
+    let mut acc: Vec<Vec<u64>> = partials;
+    for level in levels.iter().rev() {
+        let mut batch: Vec<GlobalMessage> = Vec::new();
+        let mut merges: Vec<(usize, Vec<u64>)> = Vec::new();
+        for &pos in level {
+            let Some(parent_pos) = cluster_tree.parent[pos] else {
+                continue;
+            };
+            let child_idx = pos_to_cluster[pos];
+            let parent_idx = pos_to_cluster[parent_pos];
+            let child = &clustering.clusters[child_idx];
+            let parent = &clustering.clusters[parent_idx];
+            for i in 0..k {
+                let from = child.members[i % child.members.len()];
+                let to = parent.members[i % parent.members.len()];
+                batch.push(GlobalMessage::new(from, to));
+            }
+            merges.push((parent_idx, acc[child_idx].clone()));
+        }
+        if !batch.is_empty() {
+            net.charge_local(
+                "aggregation/load-balance",
+                2 * clustering.weak_diameter_bound.max(1),
+            );
+            net.deliver_global("aggregation/converge-cast-up", &batch);
+        }
+        for (parent_idx, child_values) in merges {
+            for i in 0..k {
+                acc[parent_idx][i] = f(acc[parent_idx][i], child_values[i]);
+            }
+        }
+    }
+    let root_cluster = pos_to_cluster[cluster_tree.root()];
+    let results = acc[root_cluster].clone();
+
+    // Phase 3: flood the results inside the root cluster, then disseminate
+    // them to the whole graph with Theorem 1.
+    net.charge_local(
+        "aggregation/root-flood",
+        clustering.weak_diameter_bound.max(1),
+    );
+    let root_leader = clustering.clusters[root_cluster].leader;
+    let result_tokens: Vec<TokenPlacement> =
+        results.iter().map(|&r| (root_leader, r)).collect();
+    let _ = disseminate_with_radius(
+        net,
+        oracle,
+        &result_tokens,
+        nq,
+        RadiusPolicy::Fixed(nq),
+    );
+
+    AggregationOutput {
+        k: k as u64,
+        nq,
+        rounds: net.rounds() - before,
+        meter: net.meter().clone(),
+        results,
+    }
+}
+
+/// Helper used by tests and benches: place `k` tokens with values `0..k` on
+/// nodes selected round-robin from `holders` (or adversarially concentrated
+/// on a single node when `holders` has one element).
+pub fn place_tokens(holders: &[NodeId], k: u64) -> Vec<TokenPlacement> {
+    assert!(!holders.is_empty());
+    (0..k).map(|t| (holders[(t as usize) % holders.len()], t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_graph::generators;
+    use std::sync::Arc;
+
+    fn setup(graph: hybrid_graph::Graph) -> (Arc<hybrid_graph::Graph>, NqOracle, HybridNetwork) {
+        let g = Arc::new(graph);
+        let oracle = NqOracle::new(&g);
+        let net = HybridNetwork::hybrid0(Arc::clone(&g));
+        (g, oracle, net)
+    }
+
+    #[test]
+    fn dissemination_delivers_all_tokens() {
+        let (_, oracle, mut net) = setup(generators::grid(&[10, 10]).unwrap());
+        let tokens = place_tokens(&(0..100).collect::<Vec<_>>(), 40);
+        let out = k_dissemination(&mut net, &oracle, &tokens);
+        assert_eq!(out.k, 40);
+        assert_eq!(out.tokens, (0..40).collect::<Vec<u64>>());
+        assert!(out.rounds > 0);
+    }
+
+    #[test]
+    fn dissemination_handles_concentrated_tokens() {
+        // All tokens start at a single corner node — Theorem 1 makes no
+        // assumption about the initial distribution.
+        let (_, oracle, mut net) = setup(generators::grid(&[8, 8]).unwrap());
+        let tokens = place_tokens(&[0], 32);
+        let out = k_dissemination(&mut net, &oracle, &tokens);
+        assert_eq!(out.tokens.len(), 32);
+    }
+
+    #[test]
+    fn dissemination_zero_tokens_is_cheap() {
+        let (_, oracle, mut net) = setup(generators::cycle(20).unwrap());
+        let out = k_dissemination(&mut net, &oracle, &[]);
+        assert_eq!(out.k, 0);
+        assert!(out.tokens.is_empty());
+        let log_n = 5u64;
+        assert!(out.rounds <= 4 * log_n * log_n);
+    }
+
+    #[test]
+    fn universal_not_slower_than_baseline_and_faster_on_grids() {
+        let g = generators::grid(&[16, 16]).unwrap();
+        let k = 200u64;
+        let tokens = place_tokens(&(0..256).collect::<Vec<_>>(), k);
+
+        let (_, oracle, mut net_u) = setup(g.clone());
+        let uni = k_dissemination(&mut net_u, &oracle, &tokens);
+
+        let (_, oracle_b, mut net_b) = setup(g);
+        let base = baseline_sqrt_k_dissemination(&mut net_b, &oracle_b, &tokens);
+
+        assert_eq!(uni.tokens, base.tokens);
+        assert!(uni.radius <= base.radius);
+        assert!(
+            uni.rounds <= base.rounds,
+            "universal ({}) slower than baseline ({})",
+            uni.rounds,
+            base.rounds
+        );
+        // On a 2-D grid NQ_200 ≈ 200^(1/3) ≈ 6 < √200 ≈ 15, so the gap should
+        // be visible, not marginal.
+        assert!(uni.rounds * 3 < base.rounds * 2, "expected a clear win on the grid");
+    }
+
+    #[test]
+    fn universal_and_baseline_coincide_on_paths() {
+        // Theorem 15: on a path NQ_k = Θ(√k), so both policies pick nearly the
+        // same radius and the round counts are close.
+        let g = generators::path(256).unwrap();
+        let tokens = place_tokens(&(0..256).collect::<Vec<_>>(), 64);
+        let (_, oracle, mut net_u) = setup(g.clone());
+        let uni = k_dissemination(&mut net_u, &oracle, &tokens);
+        let (_, oracle_b, mut net_b) = setup(g);
+        let base = baseline_sqrt_k_dissemination(&mut net_b, &oracle_b, &tokens);
+        assert!(uni.rounds <= base.rounds);
+        assert!(base.rounds <= 2 * uni.rounds, "path should show no large gap");
+    }
+
+    #[test]
+    fn rounds_scale_like_nq_not_k() {
+        let (_, oracle, mut net) = setup(generators::grid(&[12, 12]).unwrap());
+        let tokens = place_tokens(&(0..144).collect::<Vec<_>>(), 100);
+        let out = k_dissemination(&mut net, &oracle, &tokens);
+        let log_n = net.log_n();
+        // Õ(NQ_k): generous polylog allowance but far below k.
+        assert!(out.rounds <= out.nq * 40 * log_n * log_n);
+        assert!(out.rounds < 100 * out.nq * log_n);
+    }
+
+    #[test]
+    fn load_balance_spreads_evenly() {
+        let (_, _, mut net) = setup(generators::cycle(12).unwrap());
+        let members: Vec<NodeId> = (0..4).collect();
+        let tokens: Vec<u64> = (0..10).collect();
+        let assignment = load_balance_cluster(&mut net, &members, &tokens, 3, true);
+        assert_eq!(assignment.len(), 4);
+        let max = assignment.iter().map(Vec::len).max().unwrap();
+        let min = assignment.iter().map(Vec::len).min().unwrap();
+        assert!(max - min <= 1);
+        assert_eq!(assignment.iter().map(Vec::len).sum::<usize>(), 10);
+        assert_eq!(net.rounds(), 6);
+    }
+
+    #[test]
+    fn aggregation_computes_componentwise_max_and_sum() {
+        let (g, oracle, mut net) = setup(generators::grid(&[6, 6]).unwrap());
+        let n = g.n();
+        let k = 5usize;
+        // Node v holds values [v, 2v, 3v, 4v, 5v].
+        let values: Vec<Vec<u64>> = (0..n as u64)
+            .map(|v| (1..=k as u64).map(|i| i * v).collect())
+            .collect();
+        let out = k_aggregation(&mut net, &oracle, &values, |a, b| a.max(b));
+        let vmax = (n - 1) as u64;
+        assert_eq!(out.results, (1..=k as u64).map(|i| i * vmax).collect::<Vec<_>>());
+
+        let (_, oracle2, mut net2) = setup(generators::grid(&[6, 6]).unwrap());
+        let out_sum = k_aggregation(&mut net2, &oracle2, &values, |a, b| a + b);
+        let vsum: u64 = (0..n as u64).sum();
+        assert_eq!(
+            out_sum.results,
+            (1..=k as u64).map(|i| i * vsum).collect::<Vec<_>>()
+        );
+        assert!(out.rounds > 0);
+    }
+
+    #[test]
+    fn aggregation_empty_k_is_noop() {
+        let (g, oracle, mut net) = setup(generators::cycle(10).unwrap());
+        let values: Vec<Vec<u64>> = vec![Vec::new(); g.n()];
+        let out = k_aggregation(&mut net, &oracle, &values, |a, b| a + b);
+        assert_eq!(out.k, 0);
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn max_tokens_per_node_close_to_radius() {
+        let (_, oracle, mut net) = setup(generators::grid(&[10, 10]).unwrap());
+        let tokens = place_tokens(&(0..100).collect::<Vec<_>>(), 80);
+        let out = k_dissemination(&mut net, &oracle, &tokens);
+        // Lemma 4.1 + Lemma 3.5: at most ~2·radius tokens per node during the
+        // converge-cast (generous constant for integer effects on small graphs).
+        assert!(
+            out.max_tokens_per_node <= 4 * out.radius.max(1) + 4,
+            "load {} exceeds O(radius {})",
+            out.max_tokens_per_node,
+            out.radius
+        );
+    }
+
+    #[test]
+    fn place_tokens_round_robin() {
+        let t = place_tokens(&[3, 7], 5);
+        assert_eq!(t, vec![(3, 0), (7, 1), (3, 2), (7, 3), (3, 4)]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Universally optimal `(k, ℓ)`-shortest paths (Theorem 5): every target
+//! `t ∈ T` learns a `(1+ε)`-approximate distance to every source `s ∈ S`,
+//! in `Õ(NQ_k)` rounds.
+//!
+//! The algorithm solves shortest paths *from the targets* (each target acts
+//! as an SSSP source — Theorem 13 sequentially in case (1), the Theorem 14
+//! `k`-SSP scheduler in case (2)), after which every **source** knows its
+//! distance to every target; the situation is then "reversed" by delivering
+//! one message per `(s, t)` pair with the `(k, ℓ)`-routing algorithm
+//! (Theorem 3).
+
+use rand::Rng;
+
+use hybrid_graph::dijkstra::dijkstra;
+use hybrid_graph::{NodeId, Weight, INFINITY};
+use hybrid_sim::HybridNetwork;
+
+use crate::kssp::{kssp, KsspVariant};
+use crate::nq::NqOracle;
+use crate::routing::{kl_routing, RoutingScenario};
+use crate::sssp::{quantize_distance, sssp_round_cost};
+
+/// Which of the two Theorem 5 parameter regimes an instance belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KlspScenario {
+    /// Arbitrary sources, targets sampled with probability `ℓ/n`, `ℓ ≤ NQ_k`.
+    ArbitrarySourcesRandomTargets,
+    /// Sources and targets both sampled, `ℓ ≤ NQ_k²`, `ℓ·k ≤ NQ_k·n`.
+    RandomSourcesRandomTargets,
+}
+
+/// Output of a `(k, ℓ)`-SP computation.
+#[derive(Debug, Clone)]
+pub struct KlspOutput {
+    /// The source set `S`.
+    pub sources: Vec<NodeId>,
+    /// The target set `T`.
+    pub targets: Vec<NodeId>,
+    /// `dist[ti][si]` is the label target `targets[ti]` learned for source
+    /// `sources[si]`.
+    pub dist: Vec<Vec<Weight>>,
+    /// Promised stretch (`1 + ε`).
+    pub stretch: f64,
+    /// Total rounds consumed.
+    pub rounds: u64,
+    /// The graph's `NQ_k`.
+    pub nq: u64,
+}
+
+impl KlspOutput {
+    /// Verifies every learned label against exact distances.
+    pub fn verify_stretch(&self, graph: &hybrid_graph::Graph) -> Result<f64, String> {
+        let mut worst: f64 = 1.0;
+        for (si, &s) in self.sources.iter().enumerate() {
+            let exact = dijkstra(graph, s).dist;
+            for (ti, &t) in self.targets.iter().enumerate() {
+                let e = exact[t as usize];
+                let a = self.dist[ti][si];
+                if e == 0 {
+                    if a != 0 {
+                        return Err(format!("({s},{t}): nonzero self label"));
+                    }
+                    continue;
+                }
+                if a == INFINITY || e == INFINITY {
+                    return Err(format!("({s},{t}): unreachable label on connected graph"));
+                }
+                if a < e {
+                    return Err(format!("({s},{t}): label {a} underestimates {e}"));
+                }
+                let ratio = a as f64 / e as f64;
+                if ratio > self.stretch + 1e-9 {
+                    return Err(format!("({s},{t}): stretch {ratio} exceeds {}", self.stretch));
+                }
+                worst = worst.max(ratio);
+            }
+        }
+        Ok(worst)
+    }
+}
+
+/// Theorem 5 — `(1+ε)`-approximate `(k, ℓ)`-SP in `Õ(NQ_k)` rounds w.h.p.
+pub fn klsp(
+    net: &mut HybridNetwork,
+    oracle: &NqOracle,
+    sources: &[NodeId],
+    targets: &[NodeId],
+    epsilon: f64,
+    scenario: KlspScenario,
+    rng: &mut impl Rng,
+) -> KlspOutput {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let before = net.rounds();
+    let graph = net.graph_arc();
+    let k = sources.len();
+    let l = targets.len();
+    let nq = oracle.nq(k.max(1) as u64).max(1);
+
+    if k == 0 || l == 0 {
+        return KlspOutput {
+            sources: sources.to_vec(),
+            targets: targets.to_vec(),
+            dist: vec![Vec::new(); l],
+            stretch: 1.0 + epsilon,
+            rounds: net.rounds() - before,
+            nq,
+        };
+    }
+
+    // Step 1: shortest paths *from the targets*.
+    let target_labels: Vec<Vec<Weight>> = match scenario {
+        KlspScenario::ArbitrarySourcesRandomTargets => {
+            // ℓ ≤ NQ_k sequential Theorem 13 instances.
+            let t_sssp = sssp_round_cost(net, epsilon);
+            net.charge_rounds(
+                "klsp/sequential-sssp-from-targets",
+                t_sssp.saturating_mul(l as u64),
+            );
+            targets
+                .iter()
+                .map(|&t| {
+                    dijkstra(&graph, t)
+                        .dist
+                        .into_iter()
+                        .map(|d| quantize_distance(d, epsilon))
+                        .collect()
+                })
+                .collect()
+        }
+        KlspScenario::RandomSourcesRandomTargets => {
+            // ℓ-SSP via the Theorem 14 scheduler (targets as sources).
+            let out = kssp(net, targets, epsilon, KsspVariant::RandomSources, rng);
+            out.dist
+        }
+    };
+
+    // Step 2: "reverse" the information with (k, ℓ)-routing (Theorem 3):
+    // every source holds one distance label per target and the targets must
+    // receive them.
+    let routing_scenario = match scenario {
+        KlspScenario::ArbitrarySourcesRandomTargets => {
+            RoutingScenario::ArbitrarySourcesRandomTargets
+        }
+        KlspScenario::RandomSourcesRandomTargets => RoutingScenario::RandomSourcesRandomTargets,
+    };
+    let routing = kl_routing(net, oracle, sources, targets, routing_scenario, rng);
+    debug_assert!(routing.is_complete(sources, targets));
+
+    // Assemble what each target has learned.
+    let dist: Vec<Vec<Weight>> = (0..l)
+        .map(|ti| (0..k).map(|si| target_labels[ti][sources[si] as usize]).collect())
+        .collect();
+
+    KlspOutput {
+        sources: sources.to_vec(),
+        targets: targets.to_vec(),
+        dist,
+        stretch: 1.0 + epsilon,
+        rounds: net.rounds() - before,
+        nq,
+    }
+}
+
+/// The existential comparison row of Table 3: `(k, ℓ)`-SP by solving `k`-SSP
+/// with the prior `Õ(√k)`-type machinery; exact labels, rounds
+/// `Õ(n^{1/3} + √k)` ([CHLP21a], [KS20]).
+pub fn baseline_klsp(
+    net: &mut HybridNetwork,
+    sources: &[NodeId],
+    targets: &[NodeId],
+) -> KlspOutput {
+    let before = net.rounds();
+    let graph = net.graph_arc();
+    let rounds = crate::kssp::baseline_chlp21_rounds(graph.n(), sources.len());
+    net.charge_rounds("klsp/baseline-chlp21", rounds);
+    let dist: Vec<Vec<Weight>> = targets
+        .iter()
+        .map(|&t| {
+            let d = dijkstra(&graph, t).dist;
+            sources.iter().map(|&s| d[s as usize]).collect()
+        })
+        .collect();
+    KlspOutput {
+        sources: sources.to_vec(),
+        targets: targets.to_vec(),
+        dist,
+        stretch: 1.0,
+        rounds: net.rounds() - before,
+        nq: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prob::{sample_distinct, sample_with_probability};
+    use hybrid_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::Arc;
+
+    fn setup(graph: hybrid_graph::Graph) -> (Arc<hybrid_graph::Graph>, NqOracle, HybridNetwork) {
+        let g = Arc::new(graph);
+        let oracle = NqOracle::new(&g);
+        let net = HybridNetwork::hybrid(Arc::clone(&g));
+        (g, oracle, net)
+    }
+
+    #[test]
+    fn case1_arbitrary_sources_random_targets() {
+        let (g, oracle, mut net) = setup(generators::grid(&[10, 10]).unwrap());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let sources = sample_distinct(g.n(), 25, &mut rng);
+        let nq = oracle.nq(25).max(1);
+        let mut targets = sample_with_probability(g.n(), nq as f64 / g.n() as f64, &mut rng);
+        if targets.is_empty() {
+            targets.push(42);
+        }
+        let out = klsp(
+            &mut net,
+            &oracle,
+            &sources,
+            &targets,
+            0.25,
+            KlspScenario::ArbitrarySourcesRandomTargets,
+            &mut rng,
+        );
+        let worst = out.verify_stretch(&g).unwrap();
+        assert!(worst <= 1.25);
+        assert!(out.rounds > 0);
+    }
+
+    #[test]
+    fn case2_random_sources_random_targets_weighted() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let (g, oracle, mut net) =
+            setup(generators::weighted_grid(&[9, 9], 7, &mut rng).unwrap());
+        let sources = sample_with_probability(g.n(), 0.3, &mut rng);
+        let targets = sample_with_probability(g.n(), 0.05, &mut rng);
+        let targets = if targets.is_empty() { vec![10] } else { targets };
+        let out = klsp(
+            &mut net,
+            &oracle,
+            &sources,
+            &targets,
+            0.5,
+            KlspScenario::RandomSourcesRandomTargets,
+            &mut rng,
+        );
+        out.verify_stretch(&g).unwrap();
+    }
+
+    #[test]
+    fn empty_source_or_target_sets() {
+        let (_, oracle, mut net) = setup(generators::cycle(16).unwrap());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let out = klsp(
+            &mut net,
+            &oracle,
+            &[],
+            &[3],
+            0.5,
+            KlspScenario::ArbitrarySourcesRandomTargets,
+            &mut rng,
+        );
+        assert_eq!(out.dist.len(), 1);
+        assert!(out.dist[0].is_empty());
+    }
+
+    #[test]
+    fn baseline_is_exact() {
+        let (g, _, mut net) = setup(generators::grid(&[8, 8]).unwrap());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let sources = sample_distinct(g.n(), 12, &mut rng);
+        let targets = sample_distinct(g.n(), 4, &mut rng);
+        let out = baseline_klsp(&mut net, &sources, &targets);
+        let worst = out.verify_stretch(&g).unwrap();
+        assert!((worst - 1.0).abs() < 1e-12);
+        assert!(out.rounds > 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! The Minor-Aggregation interface model (Section 8) and the Eulerian
+//! orientation oracle `O_Euler` (Section 8.2).
+//!
+//! [RGH+22] show that a `(1+ε)`-approximation of SSSP reduces to `Õ(1/ε²)`
+//! rounds of the *Minor-Aggregation* model plus calls to an oracle that
+//! orients the edges of an Eulerian subgraph so that every node has equal in-
+//! and out-degree.  The paper's Theorem 13 follows by implementing both in
+//! `Hybrid0` in `Õ(1)` rounds (Lemmas 8.2 and 8.6).
+//!
+//! This module provides
+//!
+//! * [`MinorAggregation`] — the contract / consensus / aggregate steps of the
+//!   interface model, executed at the data level on the simulator and charged
+//!   `Õ(1)` rounds per step (Lemma 8.2), and
+//! * [`eulerian_orientation`] — an actual Eulerian-orientation algorithm
+//!   (cycle peeling over an Eulerian partition of the edge set), the result
+//!   the `Õ(1)`-round distributed implementation of Lemma 8.6 produces.
+
+use hybrid_graph::{EdgeId, Graph, NodeId};
+use hybrid_sim::HybridNetwork;
+
+/// One round of the Minor-Aggregation model over the local communication
+/// graph, simulated in `Õ(1)` HYBRID0 rounds (Lemma 8.2).
+///
+/// The caller supplies, per Minor-Aggregation round:
+/// * which edges are contracted (`contract`),
+/// * each node's `Õ(1)`-bit consensus input (`inputs`),
+/// * the aggregation operator for the consensus step.
+///
+/// The struct computes the supernode decomposition and the consensus values,
+/// and charges the simulation cost.
+#[derive(Debug, Clone)]
+pub struct MinorAggregation {
+    /// For every node, the id of its supernode (the minimum node id of its
+    /// contracted component).
+    pub supernode_of: Vec<NodeId>,
+    /// The consensus value of every node's supernode.
+    pub consensus: Vec<u64>,
+    /// Rounds charged for this Minor-Aggregation round.
+    pub rounds: u64,
+}
+
+impl MinorAggregation {
+    /// Executes one Minor-Aggregation round: contraction along `contract`
+    /// edges, consensus with operator `op` over `inputs`, and charges the
+    /// `Õ(1)` simulation rounds of Lemma 8.2 on `net`.
+    pub fn round(
+        net: &mut HybridNetwork,
+        contract: impl Fn(EdgeId) -> bool,
+        inputs: &[u64],
+        op: impl Fn(u64, u64) -> u64,
+    ) -> Self {
+        let graph = net.graph_arc();
+        let n = graph.n();
+        assert_eq!(inputs.len(), n, "one consensus input per node");
+        let before = net.rounds();
+
+        // Supernodes: connected components of the contracted subgraph.
+        let contracted = graph.edge_subgraph(&contract);
+        let (comp, comp_count) = hybrid_graph::traversal::connected_components(&contracted);
+        // Representative = minimum node id per component.
+        let mut rep = vec![NodeId::MAX; comp_count];
+        for v in 0..n {
+            rep[comp[v]] = rep[comp[v]].min(v as NodeId);
+        }
+        let supernode_of: Vec<NodeId> = (0..n).map(|v| rep[comp[v]]).collect();
+
+        // Consensus: aggregate inputs within each supernode.
+        let mut consensus_by_comp: Vec<Option<u64>> = vec![None; comp_count];
+        for v in 0..n {
+            let c = comp[v];
+            consensus_by_comp[c] = Some(match consensus_by_comp[c] {
+                None => inputs[v],
+                Some(acc) => op(acc, inputs[v]),
+            });
+        }
+        let consensus: Vec<u64> = (0..n)
+            .map(|v| consensus_by_comp[comp[v]].expect("component non-empty"))
+            .collect();
+
+        // Lemma 8.2: Õ(1) rounds per Minor-Aggregation round (overlay trees on
+        // each supernode, each of logarithmic depth).
+        net.charge_rounds("minor-aggregation/round", net.polylog(1).max(1));
+
+        MinorAggregation {
+            supernode_of,
+            consensus,
+            rounds: net.rounds() - before,
+        }
+    }
+}
+
+/// An orientation of a graph's edges: `towards_v[e]` is `true` when edge
+/// `e = {u, v}` (with `u < v` as stored in the graph) is oriented `u → v`.
+#[derive(Debug, Clone)]
+pub struct Orientation {
+    /// Orientation flag per edge id (`true` = from the smaller endpoint to the
+    /// larger one).
+    pub towards_larger: Vec<bool>,
+}
+
+impl Orientation {
+    /// In-degree and out-degree of every node under this orientation.
+    pub fn degrees(&self, graph: &Graph) -> (Vec<usize>, Vec<usize>) {
+        let mut indeg = vec![0usize; graph.n()];
+        let mut outdeg = vec![0usize; graph.n()];
+        for (e, &(u, v, _)) in graph.edges().iter().enumerate() {
+            if self.towards_larger[e] {
+                outdeg[u as usize] += 1;
+                indeg[v as usize] += 1;
+            } else {
+                outdeg[v as usize] += 1;
+                indeg[u as usize] += 1;
+            }
+        }
+        (indeg, outdeg)
+    }
+}
+
+/// The oracle `O_Euler` (Definition 8.4): orients the edges of an Eulerian
+/// graph (every degree even) so that in-degree equals out-degree at every
+/// node.  Charges the `Õ(1)` rounds of the distributed implementation
+/// (Lemma 8.6) when a network is supplied.
+///
+/// # Panics
+/// Panics if some node has odd degree (the graph is not Eulerian).
+pub fn eulerian_orientation(net: Option<&mut HybridNetwork>, graph: &Graph) -> Orientation {
+    for v in graph.nodes() {
+        assert!(
+            graph.degree(v) % 2 == 0,
+            "node {v} has odd degree; the graph is not Eulerian"
+        );
+    }
+    if let Some(net) = net {
+        net.charge_rounds("euler/orientation", net.polylog(2).max(1));
+    }
+    let m = graph.m();
+    let mut oriented = vec![None::<bool>; m];
+    let mut used = vec![false; m];
+    // Hierholzer-style cycle peeling: repeatedly walk unused edges, always
+    // leaving a node by an unused edge; because all degrees are even, every
+    // walk closes a cycle, which we orient in traversal direction.
+    let mut next_arc_index = vec![0usize; graph.n()];
+    for start in graph.nodes() {
+        loop {
+            // Find an unused edge at `start`.
+            let arcs = graph.arcs(start);
+            while next_arc_index[start as usize] < arcs.len()
+                && used[arcs[next_arc_index[start as usize]].edge as usize]
+            {
+                next_arc_index[start as usize] += 1;
+            }
+            if next_arc_index[start as usize] >= arcs.len() {
+                break;
+            }
+            // Walk a cycle.
+            let mut cur = start;
+            loop {
+                let arcs = graph.arcs(cur);
+                let mut idx = next_arc_index[cur as usize];
+                while idx < arcs.len() && used[arcs[idx].edge as usize] {
+                    idx += 1;
+                }
+                next_arc_index[cur as usize] = idx;
+                let arc = arcs[idx];
+                used[arc.edge as usize] = true;
+                let (u, _v, _) = graph.edge(arc.edge);
+                // Orient cur -> arc.to.
+                oriented[arc.edge as usize] = Some(u == cur);
+                cur = arc.to;
+                if cur == start {
+                    break;
+                }
+            }
+        }
+    }
+    Orientation {
+        towards_larger: oriented
+            .into_iter()
+            .map(|o| o.expect("every edge lies on a peeled cycle"))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_graph::{generators, GraphBuilder};
+    use std::sync::Arc;
+
+    #[test]
+    fn minor_aggregation_contract_everything_gives_global_consensus() {
+        let g = Arc::new(generators::grid(&[5, 5]).unwrap());
+        let mut net = HybridNetwork::hybrid0(Arc::clone(&g));
+        let inputs: Vec<u64> = (0..25).collect();
+        let ma = MinorAggregation::round(&mut net, |_| true, &inputs, |a, b| a.max(b));
+        assert!(ma.supernode_of.iter().all(|&s| s == 0));
+        assert!(ma.consensus.iter().all(|&c| c == 24));
+        assert!(ma.rounds >= 1);
+    }
+
+    #[test]
+    fn minor_aggregation_contract_nothing_keeps_singletons() {
+        let g = Arc::new(generators::cycle(8).unwrap());
+        let mut net = HybridNetwork::hybrid0(Arc::clone(&g));
+        let inputs: Vec<u64> = (10..18).collect();
+        let ma = MinorAggregation::round(&mut net, |_| false, &inputs, |a, b| a + b);
+        for v in 0..8u32 {
+            assert_eq!(ma.supernode_of[v as usize], v);
+            assert_eq!(ma.consensus[v as usize], 10 + v as u64);
+        }
+    }
+
+    #[test]
+    fn minor_aggregation_partial_contraction() {
+        // Path 0-1-2-3-4-5; contract the first two edges and the last edge.
+        let g = Arc::new(generators::path(6).unwrap());
+        let mut net = HybridNetwork::hybrid0(Arc::clone(&g));
+        let inputs = vec![1u64, 2, 4, 8, 16, 32];
+        let ma = MinorAggregation::round(&mut net, |e| e == 0 || e == 1 || e == 4, &inputs, |a, b| a + b);
+        // Supernodes: {0,1,2}, {3}, {4,5}.
+        assert_eq!(ma.supernode_of[0], 0);
+        assert_eq!(ma.supernode_of[2], 0);
+        assert_eq!(ma.supernode_of[3], 3);
+        assert_eq!(ma.supernode_of[5], 4);
+        assert_eq!(ma.consensus[1], 7);
+        assert_eq!(ma.consensus[3], 8);
+        assert_eq!(ma.consensus[4], 48);
+    }
+
+    #[test]
+    fn eulerian_orientation_balances_degrees_on_cycle_and_torus() {
+        for g in [
+            generators::cycle(9).unwrap(),
+            generators::torus(&[4, 4]).unwrap(),
+            generators::torus(&[3, 5]).unwrap(),
+        ] {
+            let o = eulerian_orientation(None, &g);
+            let (indeg, outdeg) = o.degrees(&g);
+            for v in g.nodes() {
+                assert_eq!(indeg[v as usize], outdeg[v as usize], "node {v} unbalanced");
+            }
+        }
+    }
+
+    #[test]
+    fn eulerian_orientation_on_multi_cycle_graph() {
+        // Two triangles sharing a vertex: all degrees even (2, 2, 4, 2, 2).
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 2, 1).unwrap();
+        b.add_edge(2, 0, 1).unwrap();
+        b.add_edge(2, 3, 1).unwrap();
+        b.add_edge(3, 4, 1).unwrap();
+        b.add_edge(4, 2, 1).unwrap();
+        let g = b.build().unwrap();
+        let o = eulerian_orientation(None, &g);
+        let (indeg, outdeg) = o.degrees(&g);
+        assert_eq!(indeg, outdeg);
+        assert_eq!(indeg[2], 2);
+    }
+
+    #[test]
+    fn eulerian_orientation_charges_polylog() {
+        let g = Arc::new(generators::torus(&[4, 4]).unwrap());
+        let mut net = HybridNetwork::hybrid0(Arc::clone(&g));
+        let _ = eulerian_orientation(Some(&mut net), &g);
+        assert!(net.rounds() >= 1);
+        assert!(net.rounds() <= net.polylog(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd degree")]
+    fn non_eulerian_graph_panics() {
+        let g = generators::path(4).unwrap();
+        eulerian_orientation(None, &g);
+    }
+}

@@ -1,0 +1,215 @@
+//! Skeleton graphs (Definition 6.2, Lemma 6.3) — the classical sampling
+//! technique of Ullman & Yannakakis used by the weighted APSP algorithm
+//! (Theorem 8), the k-SSP scheduling framework (Section 9) and the
+//! existentially optimal baselines.
+//!
+//! A skeleton graph `S = (V_S, E_S, ω_S)` samples every node independently
+//! with probability `1/x`, connects two skeleton nodes whenever they are
+//! within `h = ξ·x·ln n` hops, and weights the edge by the `h`-hop-limited
+//! distance.  W.h.p. every sufficiently long shortest path of `G` passes
+//! through skeleton nodes every `h` hops, so skeleton distances equal graph
+//! distances between skeleton nodes (Lemma 6.3).
+
+use rand::Rng;
+
+use hybrid_graph::dijkstra::hop_limited_distances;
+use hybrid_graph::{Graph, GraphBuilder, NodeId, INFINITY};
+use hybrid_sim::HybridNetwork;
+
+use crate::prob::ln_n;
+
+/// The constant `ξ` of Definition 6.2 (any sufficiently large constant works;
+/// the tests verify the distance-preservation property empirically).
+pub const XI: f64 = 3.0;
+
+/// A skeleton graph together with the data needed to translate between the
+/// skeleton and the original graph.
+#[derive(Debug, Clone)]
+pub struct SkeletonGraph {
+    /// The skeleton nodes (original ids, sorted).
+    pub nodes: Vec<NodeId>,
+    /// Position of each original node in [`SkeletonGraph::nodes`]
+    /// (`usize::MAX` if not sampled).
+    pub index_of: Vec<usize>,
+    /// The skeleton graph itself (node `i` is `nodes[i]`).
+    pub graph: Graph,
+    /// The hop parameter `h = ξ·x·ln n`.
+    pub h: u64,
+    /// The sampling parameter `x` (sampling probability `1/x`).
+    pub x: f64,
+}
+
+impl SkeletonGraph {
+    /// Whether the original node `v` is a skeleton node.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.index_of[v as usize] != usize::MAX
+    }
+
+    /// Number of skeleton nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the skeleton is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Builds a skeleton graph with sampling probability `1/x`, forcing the nodes
+/// in `forced` to be included (the k-SSP algorithm adds the sources,
+/// Theorem 14).  Charges `h ∈ Õ(x)` local rounds on `net` (Lemma 6.3: the
+/// construction is pure local communication).
+pub fn build_skeleton(
+    net: &mut HybridNetwork,
+    x: f64,
+    forced: &[NodeId],
+    rng: &mut impl Rng,
+) -> SkeletonGraph {
+    assert!(x >= 1.0, "sampling parameter x must be at least 1");
+    let graph = net.graph_arc();
+    let n = graph.n();
+    let h = ((XI * x * ln_n(n)).ceil() as u64).max(1);
+
+    let mut sampled = vec![false; n];
+    for &f in forced {
+        sampled[f as usize] = true;
+    }
+    let p = 1.0 / x;
+    for v in 0..n {
+        if !sampled[v] && rng.gen_bool(p.min(1.0)) {
+            sampled[v] = true;
+        }
+    }
+    // Guarantee at least one skeleton node so downstream code never deals
+    // with an empty skeleton.
+    if !sampled.iter().any(|&s| s) {
+        sampled[0] = true;
+    }
+
+    let nodes: Vec<NodeId> = (0..n as NodeId).filter(|&v| sampled[v as usize]).collect();
+    let mut index_of = vec![usize::MAX; n];
+    for (i, &v) in nodes.iter().enumerate() {
+        index_of[v as usize] = i;
+    }
+
+    // Skeleton edges: h-hop limited distances between sampled nodes,
+    // computable after h rounds of local flooding.
+    net.charge_local("skeleton/construct", h);
+    let mut builder = GraphBuilder::new(nodes.len());
+    for (i, &u) in nodes.iter().enumerate() {
+        let dist = hop_limited_distances(&graph, u, h as usize);
+        for (j, &v) in nodes.iter().enumerate().skip(i + 1) {
+            let d = dist[v as usize];
+            if d != INFINITY && !builder.contains_edge(i as NodeId, j as NodeId) {
+                builder.add_edge(i as NodeId, j as NodeId, d.max(1)).expect("valid edge");
+            }
+        }
+    }
+    SkeletonGraph {
+        graph: builder.build_unchecked_connectivity(),
+        nodes,
+        index_of,
+        h,
+        x,
+    }
+}
+
+/// Checks Lemma 6.3 (2): for skeleton nodes `u, v`, the skeleton distance
+/// equals the true distance in `G`.  Returns the worst ratio observed over
+/// the given sample of skeleton node pairs (1.0 means exact).
+pub fn skeleton_distance_fidelity(graph: &Graph, skeleton: &SkeletonGraph, samples: usize) -> f64 {
+    let mut worst: f64 = 1.0;
+    let count = samples.min(skeleton.len());
+    for i in 0..count {
+        let u = skeleton.nodes[i];
+        let exact = hybrid_graph::dijkstra::dijkstra(graph, u).dist;
+        let sk = hybrid_graph::dijkstra::dijkstra(&skeleton.graph, i as NodeId).dist;
+        for (j, &v) in skeleton.nodes.iter().enumerate() {
+            if exact[v as usize] == 0 {
+                continue;
+            }
+            if sk[j] == INFINITY {
+                return f64::INFINITY;
+            }
+            worst = worst.max(sk[j] as f64 / exact[v as usize] as f64);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::Arc;
+
+    fn setup(graph: hybrid_graph::Graph) -> (Arc<hybrid_graph::Graph>, HybridNetwork) {
+        let g = Arc::new(graph);
+        let net = HybridNetwork::hybrid(Arc::clone(&g));
+        (g, net)
+    }
+
+    #[test]
+    fn skeleton_contains_forced_nodes_and_charges_h_rounds() {
+        let (_, mut net) = setup(generators::grid(&[10, 10]).unwrap());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let sk = build_skeleton(&mut net, 4.0, &[0, 55, 99], &mut rng);
+        assert!(sk.contains(0) && sk.contains(55) && sk.contains(99));
+        assert!(!sk.is_empty());
+        assert_eq!(net.rounds(), sk.h);
+        assert_eq!(sk.nodes.len(), sk.graph.n());
+    }
+
+    #[test]
+    fn skeleton_distances_match_graph_distances() {
+        let (g, mut net) = setup(generators::grid(&[9, 9]).unwrap());
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let sk = build_skeleton(&mut net, 3.0, &[], &mut rng);
+        let fidelity = skeleton_distance_fidelity(&g, &sk, 10);
+        assert!(
+            (fidelity - 1.0).abs() < 1e-9,
+            "skeleton distances off by factor {fidelity}"
+        );
+    }
+
+    #[test]
+    fn skeleton_distances_match_on_weighted_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g0 = generators::weighted_grid(&[8, 8], 12, &mut rng).unwrap();
+        let (g, mut net) = setup(g0);
+        let sk = build_skeleton(&mut net, 2.5, &[], &mut rng);
+        let fidelity = skeleton_distance_fidelity(&g, &sk, 8);
+        assert!((fidelity - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skeleton_size_close_to_n_over_x() {
+        let (g, mut net) = setup(generators::grid(&[20, 20]).unwrap());
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let x = 5.0;
+        let sk = build_skeleton(&mut net, x, &[], &mut rng);
+        let expected = g.n() as f64 / x;
+        assert!((sk.len() as f64) > expected / 3.0);
+        assert!((sk.len() as f64) < expected * 3.0);
+    }
+
+    #[test]
+    fn empty_sampling_still_yields_a_node() {
+        let (_, mut net) = setup(generators::path(30).unwrap());
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        // Astronomically small sampling probability: forced fallback to node 0.
+        let sk = build_skeleton(&mut net, 1e9, &[], &mut rng);
+        assert!(sk.len() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn x_below_one_panics() {
+        let (_, mut net) = setup(generators::path(10).unwrap());
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        build_skeleton(&mut net, 0.5, &[], &mut rng);
+    }
+}

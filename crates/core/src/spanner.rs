@@ -1,0 +1,170 @@
+//! Multiplicative graph spanners.
+//!
+//! Theorem 7 broadcasts a `(2k−1)`-spanner with `Õ(k·n^{1+1/k})` edges to the
+//! whole network (using Theorem 1) so that every node can approximate APSP
+//! locally.  The paper obtains the spanner from the deterministic CONGEST
+//! construction of [RG20, Corollary 3.16]; we build the classical greedy
+//! `(2k−1)`-spanner of Althöfer et al., which satisfies the same (in fact, a
+//! slightly stronger) size bound and the same stretch, and charge the `Õ(1)`
+//! CONGEST rounds of the cited construction (see DESIGN.md, substitutions).
+
+use hybrid_graph::dijkstra::hop_limited_distances;
+use hybrid_graph::{Graph, GraphBuilder, Weight};
+use hybrid_sim::HybridNetwork;
+
+/// A spanner together with its parameters.
+#[derive(Debug, Clone)]
+pub struct Spanner {
+    /// The spanner subgraph (same node set as the input graph).
+    pub graph: Graph,
+    /// Stretch guarantee `2k − 1`.
+    pub stretch: u64,
+    /// The parameter `k`.
+    pub k: u64,
+}
+
+impl Spanner {
+    /// Number of edges of the spanner.
+    pub fn m(&self) -> usize {
+        self.graph.m()
+    }
+}
+
+/// Greedy `(2k−1)`-spanner: process edges by non-decreasing weight and keep an
+/// edge iff the spanner built so far has no path between its endpoints of
+/// weight at most `(2k−1)·w`.  The result has at most `n^{1+1/k}` edges
+/// (girth argument) and stretch `2k−1`.
+///
+/// Charges the `Õ(1)` rounds of the distributed construction on `net` when a
+/// network is supplied.
+pub fn greedy_spanner(net: Option<&mut HybridNetwork>, graph: &Graph, k: u64) -> Spanner {
+    assert!(k >= 1, "spanner parameter k must be at least 1");
+    let stretch = 2 * k - 1;
+    if let Some(net) = net {
+        net.charge_rounds("spanner/rg20-construction", net.polylog(2));
+    }
+    let mut edges: Vec<(Weight, u32, u32)> = graph
+        .edges()
+        .iter()
+        .map(|&(u, v, w)| (w, u, v))
+        .collect();
+    edges.sort_unstable();
+
+    let mut builder = GraphBuilder::new(graph.n());
+    for &(w, u, v) in &edges {
+        // Check whether the spanner built so far already offers a path of
+        // weight at most (2k-1)·w between u and v.  A path of that weight in
+        // the partial spanner uses at most (2k-1) edges in the unweighted case
+        // and never more than n-1 edges in general; we bound the hop budget by
+        // the stretch for unweighted inputs and fall back to n-1 otherwise.
+        let current = builder.clone().build_unchecked_connectivity();
+        let budget = if graph.is_weighted() {
+            current.n().saturating_sub(1)
+        } else {
+            stretch as usize
+        };
+        let dist = hop_limited_distances(&current, u, budget);
+        let keep = dist[v as usize] == hybrid_graph::INFINITY
+            || dist[v as usize] > stretch.saturating_mul(w);
+        if keep {
+            builder
+                .add_edge(u, v, w)
+                .expect("input edges are valid and unique");
+        }
+    }
+    Spanner {
+        graph: builder.build_unchecked_connectivity(),
+        stretch,
+        k,
+    }
+}
+
+/// Verifies the stretch guarantee of `spanner` against `graph` by comparing
+/// exact distances from `samples` source nodes; returns the maximum observed
+/// stretch.
+pub fn measured_stretch(graph: &Graph, spanner: &Graph, samples: &[u32]) -> f64 {
+    let mut worst: f64 = 1.0;
+    for &s in samples {
+        let exact = hybrid_graph::dijkstra::dijkstra(graph, s).dist;
+        let approx = hybrid_graph::dijkstra::dijkstra(spanner, s).dist;
+        for v in 0..graph.n() {
+            if exact[v] == 0 || exact[v] == hybrid_graph::INFINITY {
+                continue;
+            }
+            if approx[v] == hybrid_graph::INFINITY {
+                return f64::INFINITY;
+            }
+            worst = worst.max(approx[v] as f64 / exact[v] as f64);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_graph::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::Arc;
+
+    #[test]
+    fn spanner_of_tree_is_the_tree() {
+        let g = generators::tree_balanced(2, 4).unwrap();
+        let s = greedy_spanner(None, &g, 2);
+        assert_eq!(s.m(), g.m());
+        assert_eq!(s.stretch, 3);
+    }
+
+    #[test]
+    fn spanner_is_sparse_on_dense_graph() {
+        let g = generators::complete(40).unwrap();
+        let s = greedy_spanner(None, &g, 2);
+        // Girth bound: at most n^{1+1/2} edges; the complete graph has ~n^2/2,
+        // so the spanner must be strictly sparser.
+        assert!(s.m() < g.m());
+        assert!(s.m() as f64 <= 40.0_f64.powf(1.5) + 40.0);
+    }
+
+    #[test]
+    fn spanner_stretch_holds_unweighted() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = generators::erdos_renyi(60, 0.15, &mut rng).unwrap();
+        for k in [2u64, 3] {
+            let s = greedy_spanner(None, &g, k);
+            let samples: Vec<u32> = (0..10).collect();
+            let stretch = measured_stretch(&g, &s.graph, &samples);
+            assert!(
+                stretch <= (2 * k - 1) as f64 + 1e-9,
+                "stretch {stretch} exceeds {}",
+                2 * k - 1
+            );
+        }
+    }
+
+    #[test]
+    fn spanner_stretch_holds_weighted() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = generators::weighted_erdos_renyi(50, 0.2, 20, &mut rng).unwrap();
+        let s = greedy_spanner(None, &g, 2);
+        let samples: Vec<u32> = (0..8).collect();
+        let stretch = measured_stretch(&g, &s.graph, &samples);
+        assert!(stretch <= 3.0 + 1e-9, "stretch {stretch} exceeds 3");
+    }
+
+    #[test]
+    fn spanner_charges_polylog_rounds() {
+        let g = Arc::new(generators::grid(&[6, 6]).unwrap());
+        let mut net = HybridNetwork::hybrid0(Arc::clone(&g));
+        let _ = greedy_spanner(Some(&mut net), &g, 3);
+        assert!(net.rounds() > 0);
+        assert!(net.rounds() <= net.polylog(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_panics() {
+        let g = generators::path(4).unwrap();
+        greedy_spanner(None, &g, 0);
+    }
+}

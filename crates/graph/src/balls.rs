@@ -1,0 +1,163 @@
+//! Ball queries `B_t(v)` — the primitive underlying the neighborhood quality
+//! parameter `NQ_k` (Definition 3.1 of the paper).
+//!
+//! `B_t(v)` is the set of nodes within hop distance `t` of `v`, including `v`
+//! itself.  The paper repeatedly needs, for a node `v`, the *sizes* of all
+//! balls `|B_1(v)|, |B_2(v)|, …` up to some radius; [`ball_size_profile`]
+//! returns exactly that, and [`BallOracle`] caches the profiles for repeated
+//! `NQ_k` queries with different `k` (as the benchmarks sweep `k`).
+
+use std::collections::VecDeque;
+
+use crate::csr::{Graph, NodeId};
+
+/// Members of the ball `B_t(v)` (unsorted).
+pub fn ball_members(graph: &Graph, v: NodeId, t: u64) -> Vec<NodeId> {
+    let r = crate::traversal::bfs_bounded(graph, v, t);
+    r.order
+}
+
+/// Size of the ball `B_t(v)`.
+pub fn ball_size(graph: &Graph, v: NodeId, t: u64) -> usize {
+    ball_members(graph, v, t).len()
+}
+
+/// Sizes `|B_0(v)|, |B_1(v)|, …, |B_r(v)|` for the largest needed radius `r`.
+///
+/// The profile stops early once the ball covers the whole graph (further
+/// entries would all equal `n`); the returned vector therefore has length
+/// `min(max_radius, ecc(v)) + 1`.
+pub fn ball_size_profile(graph: &Graph, v: NodeId, max_radius: u64) -> Vec<usize> {
+    let n = graph.n();
+    let mut dist = vec![u64::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[v as usize] = 0;
+    queue.push_back(v);
+    let mut counts_per_layer: Vec<usize> = vec![1];
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        if du >= max_radius {
+            continue;
+        }
+        for a in graph.arcs(u) {
+            let w = a.to as usize;
+            if dist[w] == u64::MAX {
+                dist[w] = du + 1;
+                if counts_per_layer.len() <= (du + 1) as usize {
+                    counts_per_layer.push(0);
+                }
+                counts_per_layer[(du + 1) as usize] += 1;
+                queue.push_back(a.to);
+            }
+        }
+    }
+    // Prefix sums: |B_t(v)| = sum of layer sizes up to t.
+    let mut profile = Vec::with_capacity(counts_per_layer.len());
+    let mut acc = 0usize;
+    for c in counts_per_layer {
+        acc += c;
+        profile.push(acc);
+    }
+    profile
+}
+
+/// Caches ball-size profiles for every node, supporting repeated
+/// neighborhood-quality queries for different workloads `k`.
+#[derive(Debug, Clone)]
+pub struct BallOracle {
+    profiles: Vec<Vec<usize>>,
+    n: usize,
+}
+
+impl BallOracle {
+    /// Precomputes profiles up to radius `max_radius` for every node.
+    ///
+    /// `max_radius` only needs to be an upper bound on the radii the caller
+    /// will query (e.g. the diameter, or `√k_max` by Lemma 3.6).
+    pub fn new(graph: &Graph, max_radius: u64) -> Self {
+        let profiles = graph
+            .nodes()
+            .map(|v| ball_size_profile(graph, v, max_radius))
+            .collect();
+        BallOracle {
+            profiles,
+            n: graph.n(),
+        }
+    }
+
+    /// Number of nodes of the underlying graph.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `|B_t(v)|`.  Radii beyond the precomputed profile saturate at the last
+    /// entry (the ball stopped growing, so this is exact whenever the profile
+    /// was computed up to the node's eccentricity).
+    pub fn ball_size(&self, v: NodeId, t: u64) -> usize {
+        let profile = &self.profiles[v as usize];
+        let idx = (t as usize).min(profile.len() - 1);
+        profile[idx]
+    }
+
+    /// The full profile of node `v`.
+    pub fn profile(&self, v: NodeId) -> &[usize] {
+        &self.profiles[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn ball_sizes_on_path() {
+        let g = generators::path(10).unwrap();
+        assert_eq!(ball_size(&g, 0, 0), 1);
+        assert_eq!(ball_size(&g, 0, 3), 4);
+        assert_eq!(ball_size(&g, 5, 2), 5);
+        assert_eq!(ball_size(&g, 5, 100), 10);
+    }
+
+    #[test]
+    fn ball_members_contains_center() {
+        let g = generators::cycle(8).unwrap();
+        let members = ball_members(&g, 3, 2);
+        assert!(members.contains(&3));
+        assert_eq!(members.len(), 5);
+    }
+
+    #[test]
+    fn profile_is_monotone_and_matches_ball_size() {
+        let g = generators::grid(&[5, 5]).unwrap();
+        for v in [0u32, 12, 24] {
+            let profile = ball_size_profile(&g, v, 20);
+            for w in profile.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+            for (t, &s) in profile.iter().enumerate() {
+                assert_eq!(s, ball_size(&g, v, t as u64));
+            }
+            assert_eq!(*profile.last().unwrap(), 25);
+        }
+    }
+
+    #[test]
+    fn profile_truncates_at_max_radius() {
+        let g = generators::path(20).unwrap();
+        let profile = ball_size_profile(&g, 0, 5);
+        assert_eq!(profile.len(), 6);
+        assert_eq!(profile[5], 6);
+    }
+
+    #[test]
+    fn oracle_saturates_beyond_profile() {
+        let g = generators::grid(&[4, 4]).unwrap();
+        let oracle = BallOracle::new(&g, 100);
+        assert_eq!(oracle.n(), 16);
+        assert_eq!(oracle.ball_size(0, 0), 1);
+        assert_eq!(oracle.ball_size(0, 6), 16);
+        assert_eq!(oracle.ball_size(0, 1000), 16);
+        assert_eq!(oracle.profile(0)[0], 1);
+    }
+}

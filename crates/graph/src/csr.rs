@@ -1,0 +1,226 @@
+//! Compressed-sparse-row representation of the local communication graph.
+//!
+//! The paper's graphs (Section 1.2) are undirected, connected, simple graphs
+//! `G = (V, E, ω)` with integer weights polynomial in `n` (`ω ≡ 1` in the
+//! unweighted case).  [`Graph`] stores both orientations of every undirected
+//! edge so that neighbourhood scans are a single contiguous slice walk.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node, `0 ..= n-1`.
+pub type NodeId = u32;
+
+/// Identifier of an undirected edge, `0 ..= m-1` (in insertion order).
+pub type EdgeId = u32;
+
+/// Edge weight / distance value.  Distances use `u64` to avoid overflow when
+/// summing `poly(n)` weights along paths.
+pub type Weight = u64;
+
+/// Sentinel distance meaning "unreachable" (hop or weighted).
+pub const INFINITY: Weight = u64::MAX;
+
+/// A directed arc stored in the CSR adjacency (each undirected edge appears
+/// twice, once per direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arc {
+    /// Head of the arc (the neighbour reached by following it).
+    pub to: NodeId,
+    /// Weight of the underlying undirected edge.
+    pub weight: Weight,
+    /// Id of the underlying undirected edge.
+    pub edge: EdgeId,
+}
+
+/// Immutable CSR graph.  Construct through [`crate::GraphBuilder`] or the
+/// generators in [`crate::generators`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    arcs: Vec<Arc>,
+    /// Undirected edge list `(u, v, w)` with `u < v`, indexed by [`EdgeId`].
+    edges: Vec<(NodeId, NodeId, Weight)>,
+    weighted: bool,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        offsets: Vec<u32>,
+        arcs: Vec<Arc>,
+        edges: Vec<(NodeId, NodeId, Weight)>,
+        weighted: bool,
+    ) -> Self {
+        Graph {
+            offsets,
+            arcs,
+            edges,
+            weighted,
+        }
+    }
+
+    /// Number of nodes `n = |V|`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m = |E|`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether any edge weight differs from 1.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.n() as NodeId
+    }
+
+    /// The undirected edge list `(u, v, w)` with `u < v`.
+    #[inline]
+    pub fn edges(&self) -> &[(NodeId, NodeId, Weight)] {
+        &self.edges
+    }
+
+    /// Endpoints and weight of an undirected edge.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> (NodeId, NodeId, Weight) {
+        self.edges[e as usize]
+    }
+
+    /// Adjacency slice of `v`: one [`Arc`] per incident undirected edge.
+    #[inline]
+    pub fn arcs(&self, v: NodeId) -> &[Arc] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.arcs[lo..hi]
+    }
+
+    /// Degree of `v` in the local communication graph.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.arcs(v).len()
+    }
+
+    /// Maximum degree `Δ(G)`.
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Iterator over the neighbours of `v` (without weights).
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.arcs(v).iter().map(|a| a.to)
+    }
+
+    /// Whether `{u, v}` is an edge of the graph.  `O(deg(u))`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.arcs(u).iter().any(|a| a.to == v)
+    }
+
+    /// Total weight of all edges.
+    pub fn total_weight(&self) -> Weight {
+        self.edges.iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// Maximum edge weight `W`.
+    pub fn max_weight(&self) -> Weight {
+        self.edges.iter().map(|&(_, _, w)| w).max().unwrap_or(0)
+    }
+
+    /// Returns the subgraph induced by keeping only the edges for which
+    /// `keep(edge_id)` returns `true`.  Node ids are preserved; the result may
+    /// be disconnected.
+    pub fn edge_subgraph(&self, mut keep: impl FnMut(EdgeId) -> bool) -> Graph {
+        let mut builder = crate::GraphBuilder::new(self.n());
+        for (idx, &(u, v, w)) in self.edges.iter().enumerate() {
+            if keep(idx as EdgeId) {
+                builder
+                    .add_edge(u, v, w)
+                    .expect("edges of a valid graph remain valid");
+            }
+        }
+        builder.build_unchecked_connectivity()
+    }
+
+    /// `⌈log2(n)⌉`, at least 1 — the paper's message-size / global-capacity
+    /// unit `O(log n)` uses this.
+    pub fn log2_n(&self) -> usize {
+        let n = self.n().max(2);
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generators;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn csr_basic_accessors() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 2, 5).unwrap();
+        b.add_edge(2, 3, 2).unwrap();
+        b.add_edge(3, 0, 7).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert!(g.is_weighted());
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.total_weight(), 15);
+        assert_eq!(g.max_weight(), 7);
+        let mut nbrs: Vec<_> = g.neighbors(0).collect();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![1, 3]);
+    }
+
+    #[test]
+    fn arcs_carry_edge_ids_and_weights() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 10).unwrap();
+        b.add_edge(1, 2, 20).unwrap();
+        let g = b.build().unwrap();
+        for v in g.nodes() {
+            for a in g.arcs(v) {
+                let (u, w, weight) = g.edge(a.edge);
+                assert_eq!(weight, a.weight);
+                assert!(u == v || w == v);
+                assert!(u == a.to || w == a.to);
+            }
+        }
+    }
+
+    #[test]
+    fn unweighted_graph_reports_unweighted() {
+        let g = generators::path(5).unwrap();
+        assert!(!g.is_weighted());
+        assert_eq!(g.max_weight(), 1);
+    }
+
+    #[test]
+    fn edge_subgraph_keeps_selected_edges() {
+        let g = generators::cycle(6).unwrap();
+        let sub = g.edge_subgraph(|e| e % 2 == 0);
+        assert_eq!(sub.n(), 6);
+        assert_eq!(sub.m(), 3);
+    }
+
+    #[test]
+    fn log2_n_is_ceil_log() {
+        let g = generators::path(2).unwrap();
+        assert_eq!(g.log2_n(), 1);
+        let g = generators::path(8).unwrap();
+        assert_eq!(g.log2_n(), 3);
+        let g = generators::path(9).unwrap();
+        assert_eq!(g.log2_n(), 4);
+    }
+}

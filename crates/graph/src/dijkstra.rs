@@ -1,0 +1,201 @@
+//! Weighted distance oracles: Dijkstra, hop-limited Dijkstra and exact APSP.
+//!
+//! These are *centralized* oracles used (a) as ground truth when checking the
+//! stretch of the distributed approximation algorithms and (b) as the local
+//! computation performed inside clusters / skeleton nodes, which the HYBRID
+//! model allows for free (nodes are computationally unbounded).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::csr::{Graph, NodeId, Weight, INFINITY};
+
+/// Result of a single-source Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct DijkstraResult {
+    /// Weighted distance from the source (`INFINITY` if unreachable).
+    pub dist: Vec<Weight>,
+    /// Shortest-path-tree parent (`None` for the source / unreachable nodes).
+    pub parent: Vec<Option<NodeId>>,
+}
+
+impl DijkstraResult {
+    /// Reconstructs a shortest path from the source to `t` (inclusive), or
+    /// `None` if `t` is unreachable.
+    pub fn path_to(&self, t: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist[t as usize] == INFINITY {
+            return None;
+        }
+        let mut path = vec![t];
+        let mut cur = t;
+        while let Some(p) = self.parent[cur as usize] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Single-source Dijkstra from `source` over the edge weights of `graph`.
+pub fn dijkstra(graph: &Graph, source: NodeId) -> DijkstraResult {
+    let n = graph.n();
+    let mut dist = vec![INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(Weight, NodeId)>> = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for a in graph.arcs(v) {
+            let nd = d + a.weight;
+            if nd < dist[a.to as usize] {
+                dist[a.to as usize] = nd;
+                parent[a.to as usize] = Some(v);
+                heap.push(Reverse((nd, a.to)));
+            }
+        }
+    }
+    DijkstraResult { dist, parent }
+}
+
+/// `h`-hop-limited distances `d^h(source, ·)` (Definition in Section 1.2 and
+/// Definition 6.2 of the paper): the weight of a shortest path among paths
+/// with at most `h` edges; `INFINITY` if no such path exists.
+///
+/// Implemented as `h` rounds of Bellman–Ford relaxation, which is exactly the
+/// computation a node can perform after `h` rounds of local flooding.
+pub fn hop_limited_distances(graph: &Graph, source: NodeId, h: usize) -> Vec<Weight> {
+    let n = graph.n();
+    let mut dist = vec![INFINITY; n];
+    dist[source as usize] = 0;
+    let mut frontier: Vec<NodeId> = vec![source];
+    for _ in 0..h {
+        let mut next_frontier: Vec<NodeId> = Vec::new();
+        let mut updated = vec![false; n];
+        let mut new_dist = dist.clone();
+        for &v in &frontier {
+            let dv = dist[v as usize];
+            if dv == INFINITY {
+                continue;
+            }
+            for a in graph.arcs(v) {
+                let nd = dv + a.weight;
+                if nd < new_dist[a.to as usize] {
+                    new_dist[a.to as usize] = nd;
+                    if !updated[a.to as usize] {
+                        updated[a.to as usize] = true;
+                        next_frontier.push(a.to);
+                    }
+                }
+            }
+        }
+        if next_frontier.is_empty() {
+            dist = new_dist;
+            break;
+        }
+        dist = new_dist;
+        // Nodes improved this round must be re-relaxed next round, together
+        // with nothing else: a standard frontier Bellman-Ford.
+        frontier = next_frontier;
+    }
+    dist
+}
+
+/// Exact weighted all-pairs shortest paths (one Dijkstra per node).
+/// Quadratic memory — intended for ground-truth checks on small graphs.
+pub fn apsp_exact(graph: &Graph) -> Vec<Vec<Weight>> {
+    graph.nodes().map(|v| dijkstra(graph, v).dist).collect()
+}
+
+/// Exact unweighted (hop) all-pairs shortest paths.
+pub fn apsp_hops_exact(graph: &Graph) -> Vec<Vec<Weight>> {
+    graph
+        .nodes()
+        .map(|v| crate::traversal::bfs(graph, v).dist)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphBuilder;
+
+    fn weighted_diamond() -> Graph {
+        // 0 -1- 1 -1- 3,   0 -5- 2 -1- 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 3, 1).unwrap();
+        b.add_edge(0, 2, 5).unwrap();
+        b.add_edge(2, 3, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dijkstra_prefers_light_path() {
+        let g = weighted_diamond();
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, 3, 2]);
+        assert_eq!(r.path_to(3).unwrap(), vec![0, 1, 3]);
+        assert_eq!(r.path_to(2).unwrap(), vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn hop_limited_matches_definition() {
+        let g = weighted_diamond();
+        // With at most 1 hop, node 3 is unreachable from 0; node 2 costs 5.
+        let d1 = hop_limited_distances(&g, 0, 1);
+        assert_eq!(d1[1], 1);
+        assert_eq!(d1[2], 5);
+        assert_eq!(d1[3], INFINITY);
+        // With 2 hops the best 2-hop path to 2 is 0-1-3? no, that's 3 hops to 2.
+        let d2 = hop_limited_distances(&g, 0, 2);
+        assert_eq!(d2[3], 2);
+        assert_eq!(d2[2], 5);
+        // With enough hops we recover true distances.
+        let d3 = hop_limited_distances(&g, 0, 3);
+        assert_eq!(d3, dijkstra(&g, 0).dist);
+    }
+
+    #[test]
+    fn hop_limited_zero_hops_only_source() {
+        let g = generators::path(4).unwrap();
+        let d = hop_limited_distances(&g, 2, 0);
+        assert_eq!(d[2], 0);
+        assert!(d.iter().enumerate().all(|(i, &x)| i == 2 || x == INFINITY));
+    }
+
+    #[test]
+    fn dijkstra_equals_bfs_on_unweighted() {
+        let g = generators::grid(&[5, 4]).unwrap();
+        for s in [0u32, 7, 19] {
+            let d = dijkstra(&g, s).dist;
+            let b = crate::traversal::bfs(&g, s).dist;
+            assert_eq!(d, b);
+        }
+    }
+
+    #[test]
+    fn apsp_exact_is_symmetric_and_triangle() {
+        let g = generators::cycle(7).unwrap();
+        let d = apsp_exact(&g);
+        for u in 0..7 {
+            assert_eq!(d[u][u], 0);
+            for v in 0..7 {
+                assert_eq!(d[u][v], d[v][u]);
+                for w in 0..7 {
+                    assert!(d[u][v] <= d[u][w] + d[w][v]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apsp_hops_matches_weighted_on_unweighted_graph() {
+        let g = generators::tree_balanced(2, 3).unwrap();
+        assert_eq!(apsp_exact(&g), apsp_hops_exact(&g));
+    }
+}

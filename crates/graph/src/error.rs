@@ -1,0 +1,96 @@
+//! Error types for graph construction and queries.
+
+use std::fmt;
+
+/// Errors produced while building or querying a [`crate::Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint referenced a node id that is out of range.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the graph being built.
+        n: u32,
+    },
+    /// A self-loop `{v, v}` was supplied; the HYBRID model graphs are simple.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: u32,
+    },
+    /// An edge weight of zero was supplied; the paper assumes weights in `[1, poly(n)]`.
+    ZeroWeight {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
+    /// The same undirected edge was supplied more than once (with any weights).
+    DuplicateEdge {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+    },
+    /// The graph is required to be connected but is not.
+    Disconnected {
+        /// Number of connected components found.
+        components: usize,
+    },
+    /// An empty graph (zero nodes) was requested where at least one node is required.
+    Empty,
+    /// A generator was asked for parameters it cannot satisfy.
+    InvalidParameter {
+        /// Human readable description of the parameter problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node id {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self loop at node {node}"),
+            GraphError::ZeroWeight { u, v } => {
+                write!(f, "edge {{{u}, {v}}} has weight 0; weights must be >= 1")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "edge {{{u}, {v}}} supplied more than once")
+            }
+            GraphError::Disconnected { components } => {
+                write!(f, "graph is not connected ({components} components)")
+            }
+            GraphError::Empty => write!(f, "graph must have at least one node"),
+            GraphError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, n: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        let e = GraphError::SelfLoop { node: 2 };
+        assert!(e.to_string().contains("self loop"));
+        let e = GraphError::ZeroWeight { u: 1, v: 2 };
+        assert!(e.to_string().contains("weight 0"));
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains("more than once"));
+        let e = GraphError::Disconnected { components: 4 };
+        assert!(e.to_string().contains('4'));
+        let e = GraphError::Empty;
+        assert!(e.to_string().contains("at least one"));
+        let e = GraphError::InvalidParameter {
+            reason: "d must be positive".into(),
+        };
+        assert!(e.to_string().contains("d must be positive"));
+    }
+}

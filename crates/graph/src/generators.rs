@@ -1,0 +1,471 @@
+//! Deterministic and randomized graph-family generators.
+//!
+//! These cover the families analysed in the paper (paths, cycles and
+//! `d`-dimensional grids — Theorems 15 & 16; polynomial-growth graphs —
+//! Theorem 17), the worst-case-style topologies used by existential lower
+//! bounds (long paths attached to dense cores, Section 3.3 discussion), and
+//! realistic topologies for the example applications (data-center fat trees,
+//! random geometric "wireless" graphs, Erdős–Rényi graphs).
+//!
+//! All randomized generators take an explicit [`Rng`] and are fully
+//! deterministic given a seed.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::csr::{Graph, NodeId, Weight};
+use crate::error::GraphError;
+use crate::{GraphBuilder, Result};
+
+/// Path graph `P_n` on `n` nodes.  `NQ_k ∈ Θ(min(√k, D))` (Theorem 15).
+pub fn path(n: usize) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_unweighted_edge((v - 1) as NodeId, v as NodeId)?;
+    }
+    b.build()
+}
+
+/// Cycle graph `C_n` on `n >= 3` nodes.
+pub fn cycle(n: usize) -> Result<Graph> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("cycle requires n >= 3, got {n}"),
+        });
+    }
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_unweighted_edge((v - 1) as NodeId, v as NodeId)?;
+    }
+    b.add_unweighted_edge((n - 1) as NodeId, 0)?;
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_unweighted_edge(u as NodeId, v as NodeId)?;
+        }
+    }
+    b.build()
+}
+
+/// Star graph on `n` nodes (node 0 is the hub).
+pub fn star(n: usize) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_unweighted_edge(0, v as NodeId)?;
+    }
+    b.build()
+}
+
+/// `d`-dimensional grid graph with side lengths `dims` (Definition 3.9 uses
+/// equal sides; arbitrary sides are supported).  `NQ_k ∈ Θ(min(k^{1/(d+1)}, D))`
+/// for constant `d` (Theorem 16).
+pub fn grid(dims: &[usize]) -> Result<Graph> {
+    lattice(dims, false)
+}
+
+/// `d`-dimensional torus (grid with wrap-around edges).
+pub fn torus(dims: &[usize]) -> Result<Graph> {
+    lattice(dims, true)
+}
+
+fn lattice(dims: &[usize], wrap: bool) -> Result<Graph> {
+    if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+        return Err(GraphError::InvalidParameter {
+            reason: "grid dimensions must be non-empty and positive".into(),
+        });
+    }
+    if wrap && dims.iter().any(|&d| d < 3) {
+        return Err(GraphError::InvalidParameter {
+            reason: "torus requires every dimension >= 3".into(),
+        });
+    }
+    let n: usize = dims.iter().product();
+    let mut strides = vec![1usize; dims.len()];
+    for i in 1..dims.len() {
+        strides[i] = strides[i - 1] * dims[i - 1];
+    }
+    let index = |coords: &[usize]| -> usize {
+        coords.iter().zip(&strides).map(|(c, s)| c * s).sum()
+    };
+    let mut b = GraphBuilder::new(n);
+    let mut coords = vec![0usize; dims.len()];
+    for flat in 0..n {
+        // Decode coordinates of `flat`.
+        let mut rest = flat;
+        for (i, &d) in dims.iter().enumerate() {
+            coords[i] = rest % d;
+            rest /= d;
+        }
+        for (axis, &d) in dims.iter().enumerate() {
+            if coords[axis] + 1 < d {
+                let mut nb = coords.clone();
+                nb[axis] += 1;
+                b.add_unweighted_edge(flat as NodeId, index(&nb) as NodeId)?;
+            } else if wrap && d >= 3 {
+                let mut nb = coords.clone();
+                nb[axis] = 0;
+                b.add_unweighted_edge(flat as NodeId, index(&nb) as NodeId)?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete `arity`-ary tree of the given `depth` (depth 0 is a single root).
+pub fn tree_balanced(arity: usize, depth: usize) -> Result<Graph> {
+    if arity == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "tree arity must be positive".into(),
+        });
+    }
+    // Number of nodes: 1 + arity + arity^2 + ... + arity^depth.
+    let mut n = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level = level.saturating_mul(arity);
+        n = n.saturating_add(level);
+    }
+    let mut b = GraphBuilder::new(n);
+    // Children of node v (BFS numbering): arity*v + 1 ... arity*v + arity.
+    for v in 0..n {
+        for c in 1..=arity {
+            let child = arity * v + c;
+            if child < n {
+                b.add_unweighted_edge(v as NodeId, child as NodeId)?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Caterpillar graph: a spine path of `spine` nodes, each with `legs` pendant
+/// leaves.  A sparse, large-diameter family with `NQ_k` strictly smaller than
+/// `√k` for moderate `k`.
+pub fn caterpillar(spine: usize, legs: usize) -> Result<Graph> {
+    if spine == 0 {
+        return Err(GraphError::Empty);
+    }
+    let n = spine * (legs + 1);
+    let mut b = GraphBuilder::new(n);
+    for s in 1..spine {
+        b.add_unweighted_edge((s - 1) as NodeId, s as NodeId)?;
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            let leaf = spine + s * legs + l;
+            b.add_unweighted_edge(s as NodeId, leaf as NodeId)?;
+        }
+    }
+    b.build()
+}
+
+/// Lollipop graph: a clique on `clique` nodes with a path of `tail` nodes
+/// attached — the archetypal graph behind existential `Ω(√k)` lower bounds
+/// ("graphs that feature an isolated long path", Section 3.2).
+pub fn lollipop(clique: usize, tail: usize) -> Result<Graph> {
+    if clique == 0 {
+        return Err(GraphError::Empty);
+    }
+    let n = clique + tail;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..clique {
+        for v in (u + 1)..clique {
+            b.add_unweighted_edge(u as NodeId, v as NodeId)?;
+        }
+    }
+    for t in 0..tail {
+        let prev = if t == 0 { clique - 1 } else { clique + t - 1 };
+        b.add_unweighted_edge(prev as NodeId, (clique + t) as NodeId)?;
+    }
+    b.build()
+}
+
+/// Connected Erdős–Rényi graph `G(n, p)`: a uniform random spanning tree is
+/// added first to guarantee connectivity, then every remaining pair is joined
+/// independently with probability `p`.
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut impl Rng) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("edge probability must be in [0,1], got {p}"),
+        });
+    }
+    let mut b = GraphBuilder::new(n);
+    // Random spanning tree via random attachment to an already-connected prefix
+    // of a random permutation.
+    let mut perm: Vec<NodeId> = (0..n as NodeId).collect();
+    perm.shuffle(rng);
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        b.add_unweighted_edge(perm[i], perm[j])?;
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !b.contains_edge(u as NodeId, v as NodeId) && rng.gen_bool(p) {
+                b.add_unweighted_edge(u as NodeId, v as NodeId)?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random geometric graph on the unit square with connection radius `radius`;
+/// models short-range wireless links.  Falls back to connecting each isolated
+/// component to its nearest node (by Euclidean distance) to guarantee
+/// connectivity, mimicking a deployment that adds relays where needed.
+pub fn random_geometric(n: usize, radius: f64, rng: &mut impl Rng) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    if radius <= 0.0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "radius must be positive".into(),
+        });
+    }
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let mut b = GraphBuilder::new(n);
+    let r2 = radius * radius;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = points[u].0 - points[v].0;
+            let dy = points[u].1 - points[v].1;
+            if dx * dx + dy * dy <= r2 {
+                b.add_unweighted_edge(u as NodeId, v as NodeId)?;
+            }
+        }
+    }
+    // Stitch components together through nearest cross-component pairs.
+    loop {
+        let g = b.clone().build_unchecked_connectivity();
+        let (comp, count) = crate::traversal::connected_components(&g);
+        if count == 1 {
+            break;
+        }
+        // Connect component 0 to its nearest node in another component.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for u in 0..n {
+            if comp[u] != 0 {
+                continue;
+            }
+            for v in 0..n {
+                if comp[v] == 0 {
+                    continue;
+                }
+                let dx = points[u].0 - points[v].0;
+                let dy = points[u].1 - points[v].1;
+                let d2 = dx * dx + dy * dy;
+                if best.map_or(true, |(bd, _, _)| d2 < bd) {
+                    best = Some((d2, u, v));
+                }
+            }
+        }
+        let (_, u, v) = best.expect("at least two components have nodes");
+        b.add_unweighted_edge(u as NodeId, v as NodeId)?;
+    }
+    b.build()
+}
+
+/// A simplified two-level fat-tree / leaf–spine data-center topology:
+/// `spines` spine switches, `leaves` leaf switches (each connected to every
+/// spine) and `hosts_per_leaf` hosts per leaf.  Small diameter, highly
+/// non-uniform neighbourhood growth — the regime where universal optimality
+/// pays off most.
+pub fn fat_tree(spines: usize, leaves: usize, hosts_per_leaf: usize) -> Result<Graph> {
+    if spines == 0 || leaves == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "fat_tree requires at least one spine and one leaf".into(),
+        });
+    }
+    let n = spines + leaves + leaves * hosts_per_leaf;
+    let mut b = GraphBuilder::new(n);
+    for l in 0..leaves {
+        let leaf = spines + l;
+        for s in 0..spines {
+            b.add_unweighted_edge(s as NodeId, leaf as NodeId)?;
+        }
+        for h in 0..hosts_per_leaf {
+            let host = spines + leaves + l * hosts_per_leaf + h;
+            b.add_unweighted_edge(leaf as NodeId, host as NodeId)?;
+        }
+    }
+    b.build()
+}
+
+/// Replaces every edge weight by an independent uniform weight in `[1, max_weight]`.
+pub fn with_random_weights(graph: &Graph, max_weight: Weight, rng: &mut impl Rng) -> Result<Graph> {
+    if max_weight == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "max_weight must be >= 1".into(),
+        });
+    }
+    let mut b = GraphBuilder::new(graph.n());
+    for &(u, v, _) in graph.edges() {
+        b.add_edge(u, v, rng.gen_range(1..=max_weight))?;
+    }
+    b.build()
+}
+
+/// Weighted grid convenience wrapper: [`grid`] followed by [`with_random_weights`].
+pub fn weighted_grid(dims: &[usize], max_weight: Weight, rng: &mut impl Rng) -> Result<Graph> {
+    with_random_weights(&grid(dims)?, max_weight, rng)
+}
+
+/// Weighted Erdős–Rényi convenience wrapper.
+pub fn weighted_erdos_renyi(
+    n: usize,
+    p: f64,
+    max_weight: Weight,
+    rng: &mut impl Rng,
+) -> Result<Graph> {
+    with_random_weights(&erdos_renyi(n, p, rng)?, max_weight, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::diameter;
+    use crate::traversal::connected_components;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn path_cycle_shapes() {
+        let p = path(7).unwrap();
+        assert_eq!((p.n(), p.m()), (7, 6));
+        let c = cycle(7).unwrap();
+        assert_eq!((c.n(), c.m()), (7, 7));
+        assert!(cycle(2).is_err());
+        assert!(path(0).is_err());
+    }
+
+    #[test]
+    fn complete_and_star() {
+        let k = complete(6).unwrap();
+        assert_eq!(k.m(), 15);
+        assert_eq!(diameter(&k), 1);
+        let s = star(10).unwrap();
+        assert_eq!(s.m(), 9);
+        assert_eq!(diameter(&s), 2);
+        assert_eq!(s.degree(0), 9);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(&[4, 5]).unwrap();
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 4 * 4 + 3 * 5); // horizontal + vertical edges
+        assert_eq!(diameter(&g), 3 + 4);
+        let g3 = grid(&[3, 3, 3]).unwrap();
+        assert_eq!(g3.n(), 27);
+        assert_eq!(diameter(&g3), 6);
+        assert!(grid(&[]).is_err());
+        assert!(grid(&[0, 3]).is_err());
+    }
+
+    #[test]
+    fn torus_is_regular_and_smaller_diameter() {
+        let t = torus(&[4, 4]).unwrap();
+        assert_eq!(t.n(), 16);
+        for v in t.nodes() {
+            assert_eq!(t.degree(v), 4);
+        }
+        assert!(diameter(&t) <= diameter(&grid(&[4, 4]).unwrap()));
+        assert!(torus(&[2, 4]).is_err());
+    }
+
+    #[test]
+    fn balanced_tree_counts() {
+        let t = tree_balanced(2, 3).unwrap();
+        assert_eq!(t.n(), 15);
+        assert_eq!(t.m(), 14);
+        assert_eq!(diameter(&t), 6);
+        let t = tree_balanced(3, 2).unwrap();
+        assert_eq!(t.n(), 13);
+        assert!(tree_balanced(0, 2).is_err());
+    }
+
+    #[test]
+    fn caterpillar_and_lollipop() {
+        let c = caterpillar(5, 3).unwrap();
+        assert_eq!(c.n(), 20);
+        assert_eq!(c.m(), 4 + 15);
+        let l = lollipop(5, 10).unwrap();
+        assert_eq!(l.n(), 15);
+        assert_eq!(l.m(), 10 + 10);
+        assert_eq!(diameter(&l), 11);
+    }
+
+    #[test]
+    fn erdos_renyi_connected_and_seeded() {
+        let g1 = erdos_renyi(60, 0.05, &mut rng(7)).unwrap();
+        let g2 = erdos_renyi(60, 0.05, &mut rng(7)).unwrap();
+        assert_eq!(g1.edges(), g2.edges());
+        let (_, c) = connected_components(&g1);
+        assert_eq!(c, 1);
+        assert!(erdos_renyi(10, 1.5, &mut rng(0)).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_p_one_is_complete() {
+        let g = erdos_renyi(8, 1.0, &mut rng(3)).unwrap();
+        assert_eq!(g.m(), 28);
+    }
+
+    #[test]
+    fn random_geometric_connected() {
+        let g = random_geometric(50, 0.18, &mut rng(11)).unwrap();
+        let (_, c) = connected_components(&g);
+        assert_eq!(c, 1);
+        assert!(random_geometric(10, 0.0, &mut rng(0)).is_err());
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        let g = fat_tree(4, 8, 10).unwrap();
+        assert_eq!(g.n(), 4 + 8 + 80);
+        assert_eq!(g.m(), 4 * 8 + 80);
+        assert_eq!(diameter(&g), 4);
+        assert!(fat_tree(0, 3, 2).is_err());
+    }
+
+    #[test]
+    fn random_weights_in_range() {
+        let g = weighted_grid(&[5, 5], 100, &mut rng(5)).unwrap();
+        assert!(g.is_weighted() || g.edges().iter().all(|&(_, _, w)| w == 1));
+        for &(_, _, w) in g.edges() {
+            assert!((1..=100).contains(&w));
+        }
+        assert!(with_random_weights(&path(3).unwrap(), 0, &mut rng(0)).is_err());
+    }
+
+    #[test]
+    fn weighted_er_preserves_topology() {
+        let mut r1 = rng(9);
+        let base = erdos_renyi(30, 0.1, &mut r1).unwrap();
+        let w = with_random_weights(&base, 50, &mut r1).unwrap();
+        assert_eq!(base.m(), w.m());
+        for (a, b) in base.edges().iter().zip(w.edges()) {
+            assert_eq!((a.0, a.1), (b.0, b.1));
+        }
+    }
+}

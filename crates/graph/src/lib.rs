@@ -1,0 +1,47 @@
+//! # hybrid-graph
+//!
+//! Graph substrate for the reproduction of *"Universally Optimal Information
+//! Dissemination and Shortest Paths in the HYBRID Distributed Model"*
+//! (Chang, Hecht, Leitersdorf, Schneider — PODC 2024).
+//!
+//! The crate provides everything the distributed algorithms and the HYBRID
+//! simulator need from "the graph" itself:
+//!
+//! * an immutable, cache-friendly CSR representation ([`Graph`]) of the local
+//!   communication network `G = (V, E, ω)`;
+//! * a validating [`GraphBuilder`];
+//! * deterministic, seedable **generators** for the graph families the paper
+//!   analyses (paths, cycles, `d`-dimensional grids and tori, balanced trees,
+//!   stars, caterpillars, Erdős–Rényi graphs, random geometric graphs and a
+//!   fat-tree-like data-center topology) — see [`generators`];
+//! * centralized **distance oracles** used as ground truth and as building
+//!   blocks: BFS, multi-source BFS, Dijkstra, hop-limited Dijkstra
+//!   ([`traversal`], [`dijkstra`]);
+//! * **ball queries** `B_t(v)` which underlie the neighborhood-quality
+//!   parameter `NQ_k` ([`balls`]);
+//! * structural **properties** (connectivity, eccentricities, diameter) and
+//!   **cut evaluation** used by the cut-sparsifier experiments.
+//!
+//! All randomised constructions take an explicit [`rand::Rng`] so that every
+//! experiment in the repository is reproducible from a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balls;
+pub mod builder;
+pub mod csr;
+pub mod cuts;
+pub mod dijkstra;
+pub mod error;
+pub mod generators;
+pub mod properties;
+pub mod traversal;
+pub mod unionfind;
+
+pub use builder::GraphBuilder;
+pub use csr::{EdgeId, Graph, NodeId, Weight, INFINITY};
+pub use error::GraphError;
+
+/// Convenient result alias for fallible graph construction.
+pub type Result<T> = std::result::Result<T, GraphError>;

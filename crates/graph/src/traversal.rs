@@ -1,0 +1,278 @@
+//! Breadth-first search based oracles: hop distances, BFS trees, multi-source
+//! BFS and connected components.
+//!
+//! Hop distances `hop(v, w)` are what the paper's neighborhood-quality
+//! parameter, clusterings and lower bounds are defined over (Section 1.2).
+
+use std::collections::VecDeque;
+
+use crate::csr::{Graph, NodeId, Weight, INFINITY};
+
+/// Result of a single-source BFS.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    /// Hop distance from the source to every node (`INFINITY` if unreachable).
+    pub dist: Vec<Weight>,
+    /// BFS-tree parent of every node (`None` for the source / unreachable nodes).
+    pub parent: Vec<Option<NodeId>>,
+    /// Nodes in the order they were settled (non-decreasing distance).
+    pub order: Vec<NodeId>,
+}
+
+impl BfsResult {
+    /// Maximum finite distance reached (the eccentricity of the source if the
+    /// graph is connected).
+    pub fn eccentricity(&self) -> Weight {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != INFINITY)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Reconstructs the hop-shortest path from the source to `t`, inclusive of
+    /// both endpoints.  Returns `None` if `t` is unreachable.
+    pub fn path_to(&self, t: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist[t as usize] == INFINITY {
+            return None;
+        }
+        let mut path = vec![t];
+        let mut cur = t;
+        while let Some(p) = self.parent[cur as usize] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Single-source BFS from `source`.
+pub fn bfs(graph: &Graph, source: NodeId) -> BfsResult {
+    bfs_bounded(graph, source, u64::MAX)
+}
+
+/// BFS from `source` exploring only nodes within `max_depth` hops.
+pub fn bfs_bounded(graph: &Graph, source: NodeId, max_depth: u64) -> BfsResult {
+    let n = graph.n();
+    let mut dist = vec![INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        let dv = dist[v as usize];
+        if dv >= max_depth {
+            continue;
+        }
+        for a in graph.arcs(v) {
+            let u = a.to as usize;
+            if dist[u] == INFINITY {
+                dist[u] = dv + 1;
+                parent[u] = Some(v);
+                queue.push_back(a.to);
+            }
+        }
+    }
+    BfsResult { dist, parent, order }
+}
+
+/// Multi-source BFS: hop distance from the *closest* source, plus which
+/// source is closest (ties broken by smaller source id, matching the
+/// tie-breaking used by the paper's clustering, Lemma 3.5).
+#[derive(Debug, Clone)]
+pub struct MultiSourceBfs {
+    /// Hop distance to the closest source.
+    pub dist: Vec<Weight>,
+    /// Closest source for every node (`None` if unreachable).
+    pub closest: Vec<Option<NodeId>>,
+}
+
+/// Runs a multi-source BFS from `sources`.
+///
+/// Tie-breaking: when two sources are equidistant from a node, the one with
+/// the smaller node id wins (deterministic, as required by Lemma 3.5).
+pub fn multi_source_bfs(graph: &Graph, sources: &[NodeId]) -> MultiSourceBfs {
+    let n = graph.n();
+    let mut dist = vec![INFINITY; n];
+    let mut closest: Vec<Option<NodeId>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    let mut sorted: Vec<NodeId> = sources.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    for &s in &sorted {
+        dist[s as usize] = 0;
+        closest[s as usize] = Some(s);
+        queue.push_back(s);
+    }
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        let cv = closest[v as usize];
+        for a in graph.arcs(v) {
+            let u = a.to as usize;
+            if dist[u] == INFINITY {
+                dist[u] = dv + 1;
+                closest[u] = cv;
+                queue.push_back(a.to);
+            } else if dist[u] == dv + 1 {
+                // Deterministic tie-break by smaller source id.
+                if let (Some(old), Some(new)) = (closest[u], cv) {
+                    if new < old {
+                        // Re-relaxation with equal distance cannot change
+                        // distances further away incorrectly because the BFS
+                        // layer structure is unchanged; we simply fix the label.
+                        closest[u] = Some(new);
+                    }
+                }
+            }
+        }
+    }
+    // A second sweep in BFS order guarantees the tie-break is globally
+    // consistent (a node's closest source is the minimum over the closest
+    // sources of its predecessors on shortest hop paths).
+    let order = bfs_layers_order(graph, &sorted);
+    for &v in &order {
+        let dv = dist[v as usize];
+        if dv == 0 || dv == INFINITY {
+            continue;
+        }
+        let mut best = closest[v as usize];
+        for a in graph.arcs(v) {
+            let u = a.to as usize;
+            if dist[u] + 1 == dv {
+                match (best, closest[u]) {
+                    (Some(b), Some(c)) if c < b => best = Some(c),
+                    (None, Some(c)) => best = Some(c),
+                    _ => {}
+                }
+            }
+        }
+        closest[v as usize] = best;
+    }
+    MultiSourceBfs { dist, closest }
+}
+
+/// Nodes ordered by hop distance from the source set (stable within a layer).
+fn bfs_layers_order(graph: &Graph, sources: &[NodeId]) -> Vec<NodeId> {
+    let n = graph.n();
+    let mut dist = vec![INFINITY; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s as usize] == INFINITY {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for a in graph.arcs(v) {
+            let u = a.to as usize;
+            if dist[u] == INFINITY {
+                dist[u] = dist[v as usize] + 1;
+                queue.push_back(a.to);
+            }
+        }
+    }
+    order
+}
+
+/// Connected components of the graph.  Returns `(component_id_per_node,
+/// number_of_components)`.
+pub fn connected_components(graph: &Graph) -> (Vec<usize>, usize) {
+    let n = graph.n();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::new();
+        comp[s] = count;
+        queue.push_back(s as NodeId);
+        while let Some(v) = queue.pop_front() {
+            for a in graph.arcs(v) {
+                let u = a.to as usize;
+                if comp[u] == usize::MAX {
+                    comp[u] = count;
+                    queue.push_back(a.to);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_on_path_gives_linear_distances() {
+        let g = generators::path(6).unwrap();
+        let r = bfs(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(r.eccentricity(), 5);
+        assert_eq!(r.path_to(4).unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_bounded_limits_exploration() {
+        let g = generators::path(10).unwrap();
+        let r = bfs_bounded(&g, 0, 3);
+        assert_eq!(r.dist[3], 3);
+        assert_eq!(r.dist[4], INFINITY);
+    }
+
+    #[test]
+    fn bfs_order_is_sorted_by_distance() {
+        let g = generators::grid(&[4, 4]).unwrap();
+        let r = bfs(&g, 0);
+        for w in r.order.windows(2) {
+            assert!(r.dist[w[0] as usize] <= r.dist[w[1] as usize]);
+        }
+    }
+
+    #[test]
+    fn multi_source_bfs_assigns_closest_source() {
+        let g = generators::path(9).unwrap();
+        let r = multi_source_bfs(&g, &[0, 8]);
+        assert_eq!(r.dist[4], 4);
+        assert_eq!(r.closest[1], Some(0));
+        assert_eq!(r.closest[7], Some(8));
+        // Equidistant node 4: tie broken towards smaller id.
+        assert_eq!(r.closest[4], Some(0));
+    }
+
+    #[test]
+    fn multi_source_bfs_dedups_sources() {
+        let g = generators::cycle(5).unwrap();
+        let r = multi_source_bfs(&g, &[2, 2, 2]);
+        assert_eq!(r.dist[2], 0);
+        assert!(r.dist.iter().all(|&d| d <= 2));
+    }
+
+    #[test]
+    fn connected_components_counts() {
+        let g = generators::path(4).unwrap();
+        let (comp, c) = connected_components(&g);
+        assert_eq!(c, 1);
+        assert!(comp.iter().all(|&x| x == 0));
+        let sub = g.edge_subgraph(|e| e != 1);
+        let (_, c) = connected_components(&sub);
+        assert_eq!(c, 2);
+    }
+
+    #[test]
+    fn path_to_unreachable_is_none() {
+        let g = generators::path(4).unwrap();
+        let sub = g.edge_subgraph(|e| e != 1);
+        let r = bfs(&sub, 0);
+        assert!(r.path_to(3).is_none());
+    }
+}

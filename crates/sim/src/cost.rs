@@ -1,0 +1,187 @@
+//! Round and message accounting shared by both simulation styles.
+
+use serde::{Deserialize, Serialize};
+
+/// Which communication mode a phase used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Local communication along graph edges (unlimited bandwidth).
+    Local,
+    /// Global (NCC-style) communication under per-node capacity.
+    Global,
+    /// Purely local computation / bookkeeping charged a fixed number of rounds
+    /// (e.g. simulating an oracle whose round cost is known).
+    Charged,
+}
+
+/// One entry of the execution trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseRecord {
+    /// Human-readable label (e.g. `"clustering/ruling-set"`).
+    pub label: String,
+    /// Communication mode.
+    pub kind: PhaseKind,
+    /// Rounds consumed by the phase.
+    pub rounds: u64,
+    /// Messages sent during the phase (`O(log n)`-bit units for global
+    /// phases; edge-message count for local phases).
+    pub messages: u64,
+}
+
+/// Accumulates the cost of an algorithm execution: total rounds, message
+/// counters and a per-phase trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CostMeter {
+    rounds: u64,
+    local_messages: u64,
+    global_messages: u64,
+    trace: Vec<PhaseRecord>,
+}
+
+impl CostMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total rounds consumed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total local messages (edge-messages) sent.
+    pub fn local_messages(&self) -> u64 {
+        self.local_messages
+    }
+
+    /// Total global messages (`O(log n)`-bit units) sent.
+    pub fn global_messages(&self) -> u64 {
+        self.global_messages
+    }
+
+    /// The per-phase trace.
+    pub fn trace(&self) -> &[PhaseRecord] {
+        &self.trace
+    }
+
+    /// Records a local phase of `rounds` rounds and `messages` edge-messages.
+    pub fn record_local(&mut self, label: impl Into<String>, rounds: u64, messages: u64) {
+        self.rounds += rounds;
+        self.local_messages += messages;
+        self.trace.push(PhaseRecord {
+            label: label.into(),
+            kind: PhaseKind::Local,
+            rounds,
+            messages,
+        });
+    }
+
+    /// Records a global phase of `rounds` rounds and `messages` global messages.
+    pub fn record_global(&mut self, label: impl Into<String>, rounds: u64, messages: u64) {
+        self.rounds += rounds;
+        self.global_messages += messages;
+        self.trace.push(PhaseRecord {
+            label: label.into(),
+            kind: PhaseKind::Global,
+            rounds,
+            messages,
+        });
+    }
+
+    /// Records a charged phase (a simulated oracle / framework with a known
+    /// round cost but no explicitly scheduled messages).
+    pub fn record_charged(&mut self, label: impl Into<String>, rounds: u64) {
+        self.rounds += rounds;
+        self.trace.push(PhaseRecord {
+            label: label.into(),
+            kind: PhaseKind::Charged,
+            rounds,
+            messages: 0,
+        });
+    }
+
+    /// Merges another meter into this one (concatenating traces), e.g. when an
+    /// algorithm invokes a sub-algorithm that produced its own meter.
+    pub fn absorb(&mut self, other: CostMeter) {
+        self.rounds += other.rounds;
+        self.local_messages += other.local_messages;
+        self.global_messages += other.global_messages;
+        self.trace.extend(other.trace);
+    }
+
+    /// Merges another meter but counts its rounds only up to `cap` — used when
+    /// sub-algorithms run *in parallel* and the caller charges the maximum.
+    pub fn absorb_parallel(&mut self, other: CostMeter, rounds_charged: u64) {
+        self.rounds += rounds_charged;
+        self.local_messages += other.local_messages;
+        self.global_messages += other.global_messages;
+        self.trace.push(PhaseRecord {
+            label: format!("parallel-group({} phases)", other.trace.len()),
+            kind: PhaseKind::Charged,
+            rounds: rounds_charged,
+            messages: 0,
+        });
+    }
+
+    /// Sum of rounds of all phases whose label contains `needle` — handy in
+    /// tests to assert which stage dominates.
+    pub fn rounds_for(&self, needle: &str) -> u64 {
+        self.trace
+            .iter()
+            .filter(|p| p.label.contains(needle))
+            .map(|p| p.rounds)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_accumulates() {
+        let mut m = CostMeter::new();
+        m.record_local("flood", 5, 100);
+        m.record_global("route", 3, 42);
+        m.record_charged("oracle", 7);
+        assert_eq!(m.rounds(), 15);
+        assert_eq!(m.local_messages(), 100);
+        assert_eq!(m.global_messages(), 42);
+        assert_eq!(m.trace().len(), 3);
+        assert_eq!(m.rounds_for("flood"), 5);
+        assert_eq!(m.rounds_for("route"), 3);
+        assert_eq!(m.rounds_for("oracle"), 7);
+    }
+
+    #[test]
+    fn absorb_adds_everything() {
+        let mut a = CostMeter::new();
+        a.record_local("x", 2, 10);
+        let mut b = CostMeter::new();
+        b.record_global("y", 4, 20);
+        a.absorb(b);
+        assert_eq!(a.rounds(), 6);
+        assert_eq!(a.global_messages(), 20);
+        assert_eq!(a.trace().len(), 2);
+    }
+
+    #[test]
+    fn absorb_parallel_caps_rounds() {
+        let mut a = CostMeter::new();
+        let mut b = CostMeter::new();
+        b.record_global("sub1", 10, 5);
+        b.record_global("sub2", 10, 5);
+        a.absorb_parallel(b, 10);
+        assert_eq!(a.rounds(), 10);
+        assert_eq!(a.global_messages(), 10);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let m = CostMeter::default();
+        assert_eq!(m.rounds(), 0);
+        assert_eq!(m.local_messages(), 0);
+        assert_eq!(m.global_messages(), 0);
+        assert!(m.trace().is_empty());
+    }
+}

@@ -1,0 +1,446 @@
+//! A true per-node synchronous message-passing engine.
+//!
+//! Every node of the local communication graph runs its own [`NodeProgram`]
+//! instance.  In each round the executor
+//!
+//! 1. hands every node the local and global messages addressed to it in the
+//!    previous round,
+//! 2. lets it perform arbitrary local computation and enqueue outgoing
+//!    messages (local messages only to neighbours; global messages to any
+//!    known node, subject to the per-round send cap `γ`),
+//! 3. enforces the per-round global *receive* cap `γ`: excess messages are
+//!    dropped (the paper's "adversary drops messages" reading, Section 1.3)
+//!    and counted, so tests can assert that well-designed algorithms never
+//!    exceed the bound.
+//!
+//! This engine is used for the simpler primitives (flooding, BFS, token
+//! gossip) and to validate the phase engine against a fully explicit
+//! execution; the heavy universal algorithms use the phase engine in
+//! [`crate::network`].
+
+use hybrid_graph::{Graph, NodeId};
+
+use crate::params::ModelParams;
+
+/// Per-round interface a node program uses to read its mailboxes and send
+/// messages.
+pub struct NodeCtx<'a, M> {
+    node: NodeId,
+    neighbors: &'a [NodeId],
+    local_inbox: &'a [(NodeId, M)],
+    global_inbox: &'a [(NodeId, M)],
+    local_outbox: Vec<(NodeId, M)>,
+    global_outbox: Vec<(NodeId, M)>,
+    gamma: usize,
+    global_send_overflow: u64,
+}
+
+impl<'a, M: Clone> NodeCtx<'a, M> {
+    /// This node's identifier.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Neighbours in the local communication graph.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Local messages received this round as `(sender, message)` pairs.
+    pub fn local_inbox(&self) -> &[(NodeId, M)] {
+        self.local_inbox
+    }
+
+    /// Global messages received this round as `(sender, message)` pairs.
+    pub fn global_inbox(&self) -> &[(NodeId, M)] {
+        self.global_inbox
+    }
+
+    /// Sends a message over the local edge to `to`.
+    ///
+    /// # Panics
+    /// Panics if `to` is not a neighbour — local communication only exists
+    /// along edges of `G`.
+    pub fn send_local(&mut self, to: NodeId, msg: M) {
+        assert!(
+            self.neighbors.contains(&to),
+            "node {} tried to send a local message to non-neighbor {}",
+            self.node,
+            to
+        );
+        self.local_outbox.push((to, msg));
+    }
+
+    /// Sends `msg` to every neighbour over the local network.
+    pub fn broadcast_local(&mut self, msg: M) {
+        for &nb in self.neighbors {
+            self.local_outbox.push((nb, msg.clone()));
+        }
+    }
+
+    /// Sends a global message to an arbitrary node.  Returns `false` (and does
+    /// not send) if this node has already used its `γ` global sends this round.
+    pub fn send_global(&mut self, to: NodeId, msg: M) -> bool {
+        if self.global_outbox.len() >= self.gamma {
+            self.global_send_overflow += 1;
+            return false;
+        }
+        self.global_outbox.push((to, msg));
+        true
+    }
+
+    /// Remaining global send budget this round.
+    pub fn global_budget_left(&self) -> usize {
+        self.gamma.saturating_sub(self.global_outbox.len())
+    }
+}
+
+/// A per-node synchronous program.
+pub trait NodeProgram {
+    /// Message type exchanged by the program (same for local and global mode).
+    type Msg: Clone;
+
+    /// Called once before the first round (round 0), e.g. to seed initial
+    /// messages.
+    fn init(&mut self, _ctx: &mut NodeCtx<'_, Self::Msg>) {}
+
+    /// Called once per round with the messages received at the beginning of
+    /// the round.
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>, round: u64);
+
+    /// Whether this node considers itself finished (it will still receive
+    /// messages and may be woken up again).
+    fn done(&self) -> bool;
+}
+
+/// Summary of an engine execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Local messages delivered.
+    pub local_messages: u64,
+    /// Global messages delivered.
+    pub global_messages: u64,
+    /// Global messages dropped because a receiver exceeded its per-round cap.
+    pub dropped_global: u64,
+    /// Global sends refused because a sender exceeded its per-round cap.
+    pub refused_sends: u64,
+    /// Whether the run ended because every program reported `done()`
+    /// (otherwise the round limit was hit).
+    pub completed: bool,
+}
+
+/// Synchronous executor running one [`NodeProgram`] per node.
+pub struct Executor<'g, P: NodeProgram> {
+    graph: &'g Graph,
+    params: ModelParams,
+    programs: Vec<P>,
+    neighbor_lists: Vec<Vec<NodeId>>,
+}
+
+impl<'g, P: NodeProgram> Executor<'g, P> {
+    /// Creates an executor with one program per node (programs are produced by
+    /// the factory, which receives the node id).
+    pub fn new(graph: &'g Graph, params: ModelParams, factory: impl FnMut(NodeId) -> P) -> Self {
+        assert_eq!(params.n, graph.n());
+        let programs: Vec<P> = graph.nodes().map(factory).collect();
+        let neighbor_lists: Vec<Vec<NodeId>> =
+            graph.nodes().map(|v| graph.neighbors(v).collect()).collect();
+        Executor {
+            graph,
+            params,
+            programs,
+            neighbor_lists,
+        }
+    }
+
+    /// Read access to the per-node programs (e.g. to extract results).
+    pub fn programs(&self) -> &[P] {
+        &self.programs
+    }
+
+    /// Runs until every program reports `done()` or `max_rounds` is reached.
+    pub fn run(&mut self, max_rounds: u64) -> RunReport {
+        self.run_until(max_rounds, |programs| programs.iter().all(|p| p.done()))
+    }
+
+    /// Runs until `stop(programs)` holds (checked after every round) or
+    /// `max_rounds` is reached.
+    pub fn run_until(
+        &mut self,
+        max_rounds: u64,
+        stop: impl Fn(&[P]) -> bool,
+    ) -> RunReport {
+        let n = self.graph.n();
+        let gamma = self.params.global_capacity_msgs;
+        let local_enabled = self.params.has_local();
+
+        let mut local_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        let mut global_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+
+        let mut report = RunReport {
+            rounds: 0,
+            local_messages: 0,
+            global_messages: 0,
+            dropped_global: 0,
+            refused_sends: 0,
+            completed: false,
+        };
+
+        // Init pass (round 0): no inboxes yet.
+        let mut next_local: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        let mut next_global: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        let mut next_global_counts: Vec<usize> = vec![0; n];
+        for v in 0..n {
+            let mut ctx = NodeCtx {
+                node: v as NodeId,
+                neighbors: &self.neighbor_lists[v],
+                local_inbox: &[],
+                global_inbox: &[],
+                local_outbox: Vec::new(),
+                global_outbox: Vec::new(),
+                gamma,
+                global_send_overflow: 0,
+            };
+            self.programs[v].init(&mut ctx);
+            report.refused_sends += ctx.global_send_overflow;
+            Self::route(
+                v as NodeId,
+                ctx,
+                local_enabled,
+                gamma,
+                &mut next_local,
+                &mut next_global,
+                &mut next_global_counts,
+                &mut report,
+            );
+        }
+        std::mem::swap(&mut local_inboxes, &mut next_local);
+        std::mem::swap(&mut global_inboxes, &mut next_global);
+
+        if stop(&self.programs) {
+            report.completed = true;
+            return report;
+        }
+
+        for round in 1..=max_rounds {
+            report.rounds = round;
+            let mut out_local: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+            let mut out_global: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+            let mut out_global_counts: Vec<usize> = vec![0; n];
+            for v in 0..n {
+                let mut ctx = NodeCtx {
+                    node: v as NodeId,
+                    neighbors: &self.neighbor_lists[v],
+                    local_inbox: &local_inboxes[v],
+                    global_inbox: &global_inboxes[v],
+                    local_outbox: Vec::new(),
+                    global_outbox: Vec::new(),
+                    gamma,
+                    global_send_overflow: 0,
+                };
+                self.programs[v].on_round(&mut ctx, round);
+                report.refused_sends += ctx.global_send_overflow;
+                Self::route(
+                    v as NodeId,
+                    ctx,
+                    local_enabled,
+                    gamma,
+                    &mut out_local,
+                    &mut out_global,
+                    &mut out_global_counts,
+                    &mut report,
+                );
+            }
+            local_inboxes = out_local;
+            global_inboxes = out_global;
+
+            if stop(&self.programs) {
+                report.completed = true;
+                return report;
+            }
+        }
+        report
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn route(
+        _from: NodeId,
+        ctx: NodeCtx<'_, P::Msg>,
+        local_enabled: bool,
+        gamma: usize,
+        out_local: &mut [Vec<(NodeId, P::Msg)>],
+        out_global: &mut [Vec<(NodeId, P::Msg)>],
+        out_global_counts: &mut [usize],
+        report: &mut RunReport,
+    ) {
+        let sender = ctx.node;
+        if !ctx.local_outbox.is_empty() {
+            assert!(
+                local_enabled,
+                "node {sender} sent local messages but the model has no local mode"
+            );
+        }
+        for (to, msg) in ctx.local_outbox {
+            out_local[to as usize].push((sender, msg));
+            report.local_messages += 1;
+        }
+        for (to, msg) in ctx.global_outbox {
+            if out_global_counts[to as usize] < gamma {
+                out_global_counts[to as usize] += 1;
+                out_global[to as usize].push((sender, msg));
+                report.global_messages += 1;
+            } else {
+                report.dropped_global += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_graph::generators;
+
+    /// A trivial program: node 0 starts a wave; every node forwards the wave
+    /// to its neighbours once; done when it has seen the wave.
+    struct Wave {
+        id: NodeId,
+        seen: bool,
+        forwarded: bool,
+    }
+
+    impl NodeProgram for Wave {
+        type Msg = ();
+
+        fn init(&mut self, ctx: &mut NodeCtx<'_, ()>) {
+            if self.id == 0 {
+                self.seen = true;
+                self.forwarded = true;
+                ctx.broadcast_local(());
+            }
+        }
+
+        fn on_round(&mut self, ctx: &mut NodeCtx<'_, ()>, _round: u64) {
+            if !ctx.local_inbox().is_empty() {
+                self.seen = true;
+            }
+            if self.seen && !self.forwarded {
+                self.forwarded = true;
+                ctx.broadcast_local(());
+            }
+        }
+
+        fn done(&self) -> bool {
+            self.seen
+        }
+    }
+
+    #[test]
+    fn wave_reaches_everyone_in_diameter_rounds() {
+        let g = generators::path(10).unwrap();
+        let params = ModelParams::hybrid(10);
+        let mut exec = Executor::new(&g, params, |id| Wave {
+            id,
+            seen: false,
+            forwarded: false,
+        });
+        let report = exec.run(100);
+        assert!(report.completed);
+        assert_eq!(report.rounds, 9);
+        assert!(exec.programs().iter().all(|p| p.seen));
+        assert_eq!(report.dropped_global, 0);
+    }
+
+    /// Program where everyone sends a global message to node 0 in round 1;
+    /// with small gamma most messages are dropped — the engine must count them.
+    struct Spam {
+        id: NodeId,
+        received: usize,
+    }
+
+    impl NodeProgram for Spam {
+        type Msg = u32;
+
+        fn on_round(&mut self, ctx: &mut NodeCtx<'_, u32>, round: u64) {
+            if round == 1 && self.id != 0 {
+                ctx.send_global(0, self.id);
+            }
+            self.received += ctx.global_inbox().len();
+        }
+
+        fn done(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn receive_cap_drops_excess() {
+        let g = generators::star(20).unwrap();
+        let params = ModelParams::hybrid_with_global_capacity(20, 4);
+        let mut exec = Executor::new(&g, params, |id| Spam { id, received: 0 });
+        let report = exec.run_until(3, |_| false);
+        assert_eq!(report.rounds, 3);
+        assert_eq!(report.global_messages, 4);
+        assert_eq!(report.dropped_global, 15);
+        assert_eq!(exec.programs()[0].received, 4);
+    }
+
+    /// Sender-side cap: a node trying to send more than gamma global messages
+    /// in one round has the excess refused.
+    struct Blaster {
+        id: NodeId,
+        refused: bool,
+    }
+
+    impl NodeProgram for Blaster {
+        type Msg = ();
+
+        fn on_round(&mut self, ctx: &mut NodeCtx<'_, ()>, round: u64) {
+            if round == 1 && self.id == 0 {
+                for t in 1..10u32 {
+                    if !ctx.send_global(t, ()) {
+                        self.refused = true;
+                    }
+                }
+                assert_eq!(ctx.global_budget_left(), 0);
+            }
+        }
+
+        fn done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn send_cap_refuses_excess() {
+        let g = generators::cycle(10).unwrap();
+        let params = ModelParams::hybrid_with_global_capacity(10, 3);
+        let mut exec = Executor::new(&g, params, |id| Blaster { id, refused: false });
+        let report = exec.run_until(1, |_| false);
+        assert_eq!(report.global_messages, 3);
+        assert_eq!(report.refused_sends, 6);
+        assert!(exec.programs()[0].refused);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn local_send_to_non_neighbor_panics() {
+        struct Bad;
+        impl NodeProgram for Bad {
+            type Msg = ();
+            fn on_round(&mut self, ctx: &mut NodeCtx<'_, ()>, _round: u64) {
+                if ctx.node() == 0 {
+                    ctx.send_local(5, ());
+                }
+            }
+            fn done(&self) -> bool {
+                false
+            }
+        }
+        let g = generators::path(10).unwrap();
+        let mut exec = Executor::new(&g, ModelParams::hybrid(10), |_| Bad);
+        exec.run_until(1, |_| false);
+    }
+}

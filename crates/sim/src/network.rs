@@ -1,0 +1,228 @@
+//! The phase engine: a [`HybridNetwork`] wraps the local communication graph
+//! and the model parameters, and charges algorithm phases to a [`CostMeter`].
+//!
+//! Algorithms in `hybrid-core` are written against this type.  A *local phase*
+//! of radius `t` is charged `t` rounds (local bandwidth is unlimited, so after
+//! `t` rounds a node knows exactly its `t`-ball — the data-level computation
+//! is performed by the algorithm itself using the graph oracles).  A *global
+//! phase* hands the full multiset of `O(log n)`-bit point-to-point messages to
+//! the [`GlobalScheduler`], which plays them out round by round under the
+//! per-node capacity `γ`.
+
+use std::sync::Arc;
+
+use hybrid_graph::Graph;
+
+use crate::cost::CostMeter;
+use crate::params::ModelParams;
+use crate::scheduler::{DeliveryReport, GlobalMessage, GlobalScheduler};
+
+/// A simulated HYBRID network: graph + model parameters + cost meter.
+#[derive(Debug, Clone)]
+pub struct HybridNetwork {
+    graph: Arc<Graph>,
+    params: ModelParams,
+    meter: CostMeter,
+}
+
+impl HybridNetwork {
+    /// Creates a network with explicit parameters.
+    ///
+    /// # Panics
+    /// Panics if `params.n` does not match the number of nodes of `graph`.
+    pub fn new(graph: Arc<Graph>, params: ModelParams) -> Self {
+        assert_eq!(
+            params.n,
+            graph.n(),
+            "model parameters are for {} nodes but the graph has {}",
+            params.n,
+            graph.n()
+        );
+        HybridNetwork {
+            graph,
+            params,
+            meter: CostMeter::new(),
+        }
+    }
+
+    /// Standard `HYBRID` network over `graph`.
+    pub fn hybrid(graph: Arc<Graph>) -> Self {
+        let params = ModelParams::hybrid(graph.n());
+        Self::new(graph, params)
+    }
+
+    /// `Hybrid0` network over `graph`.
+    pub fn hybrid0(graph: Arc<Graph>) -> Self {
+        let params = ModelParams::hybrid0(graph.n());
+        Self::new(graph, params)
+    }
+
+    /// The underlying local communication graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Shared handle to the graph.
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// `⌈log₂ n⌉` — the paper's `O(log n)` unit.
+    pub fn log_n(&self) -> u64 {
+        ModelParams::log_n(self.params.n) as u64
+    }
+
+    /// `⌈log₂ n⌉^power`, at least 1 — used to charge `Õ(1)` primitives with an
+    /// explicit polylogarithmic round count.
+    pub fn polylog(&self, power: u32) -> u64 {
+        self.log_n().saturating_pow(power).max(1)
+    }
+
+    /// Total rounds consumed so far.
+    pub fn rounds(&self) -> u64 {
+        self.meter.rounds()
+    }
+
+    /// Read access to the cost meter.
+    pub fn meter(&self) -> &CostMeter {
+        &self.meter
+    }
+
+    /// Consumes the network and returns the final meter.
+    pub fn into_meter(self) -> CostMeter {
+        self.meter
+    }
+
+    /// Charges a local phase of the given hop radius.
+    ///
+    /// # Panics
+    /// Panics if the model has no local communication.
+    pub fn charge_local(&mut self, label: impl Into<String>, radius_rounds: u64) {
+        assert!(
+            self.params.has_local(),
+            "model has no local communication but a local phase was charged"
+        );
+        // Message volume estimate: every edge may carry a message in every
+        // round of a flooding phase.
+        let messages = radius_rounds.saturating_mul(self.graph.m() as u64);
+        self.meter.record_local(label, radius_rounds, messages);
+    }
+
+    /// Charges a local phase with an explicit message count.
+    pub fn charge_local_with_messages(
+        &mut self,
+        label: impl Into<String>,
+        radius_rounds: u64,
+        messages: u64,
+    ) {
+        assert!(self.params.has_local(), "model has no local communication");
+        self.meter.record_local(label, radius_rounds, messages);
+    }
+
+    /// Delivers a batch of global messages through the capacity-constrained
+    /// global network and charges the rounds the schedule took.
+    pub fn deliver_global(
+        &mut self,
+        label: impl Into<String>,
+        messages: &[GlobalMessage],
+    ) -> DeliveryReport {
+        let report = GlobalScheduler::deliver(&self.params, messages);
+        self.meter
+            .record_global(label, report.rounds, report.messages);
+        report
+    }
+
+    /// Charges a fixed number of rounds for a simulated oracle / framework
+    /// whose internal communication is not scheduled explicitly (documented
+    /// substitutions, see DESIGN.md).
+    pub fn charge_rounds(&mut self, label: impl Into<String>, rounds: u64) {
+        self.meter.record_charged(label, rounds);
+    }
+
+    /// Absorbs the cost of a sub-computation that produced its own meter.
+    pub fn absorb(&mut self, sub: CostMeter) {
+        self.meter.absorb(sub);
+    }
+
+    /// Absorbs the message cost of sub-computations that ran in parallel,
+    /// charging only `rounds_charged` rounds (the slowest of them).
+    pub fn absorb_parallel(&mut self, sub: CostMeter, rounds_charged: u64) {
+        self.meter.absorb_parallel(sub, rounds_charged);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_graph::generators;
+
+    fn net(n: usize) -> HybridNetwork {
+        HybridNetwork::hybrid(Arc::new(generators::cycle(n).unwrap()))
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        let g = Arc::new(generators::path(100).unwrap());
+        let net = HybridNetwork::hybrid(Arc::clone(&g));
+        assert_eq!(net.graph().n(), 100);
+        assert_eq!(net.log_n(), 7);
+        assert_eq!(net.polylog(2), 49);
+        assert!(net.params().ids_globally_known());
+        let net0 = HybridNetwork::hybrid0(g);
+        assert!(!net0.params().ids_globally_known());
+    }
+
+    #[test]
+    #[should_panic(expected = "model parameters are for")]
+    fn mismatched_params_panic() {
+        let g = Arc::new(generators::path(10).unwrap());
+        HybridNetwork::new(g, ModelParams::hybrid(11));
+    }
+
+    #[test]
+    fn local_phase_charges_radius() {
+        let mut net = net(50);
+        net.charge_local("learn-ball", 7);
+        assert_eq!(net.rounds(), 7);
+        assert_eq!(net.meter().local_messages(), 7 * 50);
+    }
+
+    #[test]
+    fn global_phase_charges_schedule() {
+        let mut net = net(64);
+        let gamma = net.params().global_capacity_msgs as u64;
+        // Node 0 sends 4*gamma messages to distinct targets: 4 rounds.
+        let msgs: Vec<_> = (1..=4 * gamma as u32)
+            .map(|t| GlobalMessage::new(0, t))
+            .collect();
+        let report = net.deliver_global("pump", &msgs);
+        assert_eq!(report.rounds, 4);
+        assert_eq!(net.rounds(), 4);
+        assert_eq!(net.meter().global_messages(), 4 * gamma);
+    }
+
+    #[test]
+    fn charged_and_absorbed_phases() {
+        let mut net = net(16);
+        net.charge_rounds("oracle", 9);
+        let mut sub = CostMeter::new();
+        sub.record_global("sub", 3, 12);
+        net.absorb(sub.clone());
+        net.absorb_parallel(sub, 3);
+        assert_eq!(net.rounds(), 15);
+        assert_eq!(net.meter().global_messages(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "no local communication")]
+    fn local_phase_on_ncc_panics() {
+        let g = Arc::new(generators::cycle(8).unwrap());
+        let mut net = HybridNetwork::new(g, ModelParams::ncc(8));
+        net.charge_local("flood", 1);
+    }
+}

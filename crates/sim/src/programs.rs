@@ -1,0 +1,272 @@
+//! Library of ready-made [`NodeProgram`]s: flooding, BFS layering and a
+//! token-gossip dissemination baseline.
+//!
+//! These serve three purposes: they are genuinely useful primitives, they act
+//! as executable documentation of the engine API, and they provide an
+//! *independent* execution path against which the phase-engine algorithms of
+//! `hybrid-core` are cross-validated in the integration tests.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hybrid_graph::NodeId;
+
+use crate::engine::{NodeCtx, NodeProgram};
+
+/// Flooding (Definition 4.2 of the paper): every node repeatedly forwards all
+/// information it knows to all neighbours; after `t` rounds every node knows
+/// everything initially held within its `t`-ball.
+#[derive(Debug, Clone)]
+pub struct FloodProgram {
+    /// Tokens this node currently knows.
+    pub known: BTreeSet<u64>,
+    new_since_last_send: bool,
+    quiescent: bool,
+    rounds_budget: u64,
+}
+
+impl FloodProgram {
+    /// Creates a flooding node holding `initial` tokens, flooding for at most
+    /// `rounds_budget` rounds.
+    pub fn new(initial: impl IntoIterator<Item = u64>, rounds_budget: u64) -> Self {
+        FloodProgram {
+            known: initial.into_iter().collect(),
+            new_since_last_send: true,
+            quiescent: false,
+            rounds_budget,
+        }
+    }
+}
+
+impl NodeProgram for FloodProgram {
+    type Msg = Vec<u64>;
+
+    fn init(&mut self, ctx: &mut NodeCtx<'_, Vec<u64>>) {
+        if !self.known.is_empty() {
+            ctx.broadcast_local(self.known.iter().copied().collect());
+        }
+        self.new_since_last_send = false;
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_, Vec<u64>>, round: u64) {
+        let mut learned_something = false;
+        for (_, tokens) in ctx.local_inbox().to_vec() {
+            for t in tokens {
+                if self.known.insert(t) {
+                    self.new_since_last_send = true;
+                    learned_something = true;
+                }
+            }
+        }
+        self.quiescent = !learned_something;
+        if round < self.rounds_budget && self.new_since_last_send {
+            ctx.broadcast_local(self.known.iter().copied().collect());
+            self.new_since_last_send = false;
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.quiescent
+    }
+}
+
+/// Distributed BFS: the source announces distance 0; every node adopts
+/// `1 + min(neighbour distances)` the first time it hears one.  The computed
+/// value equals the hop distance after `ecc(source)` rounds.
+#[derive(Debug, Clone)]
+pub struct BfsProgram {
+    id: NodeId,
+    source: NodeId,
+    /// Hop distance from the source (`None` until reached).
+    pub dist: Option<u64>,
+    announced: bool,
+}
+
+impl BfsProgram {
+    /// Creates the program for node `id` with the given BFS `source`.
+    pub fn new(id: NodeId, source: NodeId) -> Self {
+        BfsProgram {
+            id,
+            source,
+            dist: if id == source { Some(0) } else { None },
+            announced: false,
+        }
+    }
+}
+
+impl NodeProgram for BfsProgram {
+    type Msg = u64;
+
+    fn init(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        if self.id == self.source {
+            ctx.broadcast_local(0);
+            self.announced = true;
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_, u64>, _round: u64) {
+        let incoming_min = ctx.local_inbox().iter().map(|&(_, d)| d).min();
+        if let Some(d) = incoming_min {
+            if self.dist.map_or(true, |cur| d + 1 < cur) {
+                self.dist = Some(d + 1);
+                self.announced = false;
+            }
+        }
+        if let Some(d) = self.dist {
+            if !self.announced {
+                ctx.broadcast_local(d);
+                self.announced = true;
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.dist.is_some() && self.announced
+    }
+}
+
+/// A token-gossip dissemination baseline: every node pushes uniformly random
+/// known tokens to uniformly random nodes over the global network (`γ` per
+/// round) *and* floods everything it knows over the local network.  This is a
+/// natural "unstructured" approach to `k`-dissemination; the structured
+/// algorithms of the paper (and of `hybrid-core`) beat it, which the
+/// integration tests demonstrate.
+#[derive(Debug)]
+pub struct TokenGossipProgram {
+    /// Tokens this node currently knows.
+    pub known: BTreeSet<u64>,
+    n: usize,
+    target_tokens: usize,
+    rng: StdRng,
+    changed: bool,
+}
+
+impl TokenGossipProgram {
+    /// Creates a gossip node holding `initial` tokens, in a network of `n`
+    /// nodes, gossiping until it knows `target_tokens` tokens.
+    pub fn new(
+        node: NodeId,
+        n: usize,
+        initial: impl IntoIterator<Item = u64>,
+        target_tokens: usize,
+        seed: u64,
+    ) -> Self {
+        TokenGossipProgram {
+            known: initial.into_iter().collect(),
+            n,
+            target_tokens,
+            rng: StdRng::seed_from_u64(seed ^ (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            changed: true,
+        }
+    }
+}
+
+impl NodeProgram for TokenGossipProgram {
+    type Msg = Vec<u64>;
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_, Vec<u64>>, _round: u64) {
+        for (_, tokens) in ctx
+            .local_inbox()
+            .iter()
+            .chain(ctx.global_inbox().iter())
+            .cloned()
+            .collect::<Vec<_>>()
+        {
+            for t in tokens {
+                if self.known.insert(t) {
+                    self.changed = true;
+                }
+            }
+        }
+        if self.known.is_empty() {
+            return;
+        }
+        // Local: share everything with neighbours whenever something changed.
+        if self.changed {
+            ctx.broadcast_local(self.known.iter().copied().collect());
+            self.changed = false;
+        }
+        // Global: push one random known token to each of up to γ random nodes.
+        let tokens: Vec<u64> = self.known.iter().copied().collect();
+        let budget = ctx.global_budget_left();
+        for _ in 0..budget {
+            let token = tokens[self.rng.gen_range(0..tokens.len())];
+            let target = self.rng.gen_range(0..self.n) as NodeId;
+            if target != ctx.node() {
+                ctx.send_global(target, vec![token]);
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.known.len() >= self.target_tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Executor;
+    use crate::params::ModelParams;
+    use hybrid_graph::{generators, properties};
+
+    #[test]
+    fn flooding_learns_everything_within_diameter() {
+        let g = generators::grid(&[5, 5]).unwrap();
+        let d = properties::diameter(&g);
+        let mut exec = Executor::new(&g, ModelParams::hybrid(25), |v| {
+            FloodProgram::new([v as u64], d + 1)
+        });
+        let report = exec.run(2 * d + 2);
+        assert!(report.completed);
+        assert!(report.rounds <= d + 1);
+        for p in exec.programs() {
+            assert_eq!(p.known.len(), 25);
+        }
+    }
+
+    #[test]
+    fn flooding_partial_budget_learns_ball_only() {
+        let g = generators::path(10).unwrap();
+        let budget = 3;
+        let mut exec = Executor::new(&g, ModelParams::hybrid(10), |v| {
+            FloodProgram::new([v as u64], budget)
+        });
+        exec.run_until(budget, |_| false);
+        // Node 0 should know exactly tokens 0..=3 (its 3-ball on the path).
+        let known: Vec<u64> = exec.programs()[0].known.iter().copied().collect();
+        assert_eq!(known, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_program_matches_centralized_bfs() {
+        let g = generators::tree_balanced(3, 3).unwrap();
+        let source = 0;
+        let mut exec = Executor::new(&g, ModelParams::hybrid(g.n()), |v| {
+            BfsProgram::new(v, source)
+        });
+        let report = exec.run(100);
+        assert!(report.completed);
+        let reference = hybrid_graph::traversal::bfs(&g, source);
+        for (v, p) in exec.programs().iter().enumerate() {
+            assert_eq!(p.dist, Some(reference.dist[v]));
+        }
+    }
+
+    #[test]
+    fn gossip_disseminates_small_k() {
+        let g = generators::cycle(30).unwrap();
+        let k = 5usize;
+        let mut exec = Executor::new(&g, ModelParams::hybrid(30), |v| {
+            let initial: Vec<u64> = if (v as usize) < k { vec![v as u64] } else { vec![] };
+            TokenGossipProgram::new(v, 30, initial, k, 7)
+        });
+        let report = exec.run(500);
+        assert!(report.completed, "gossip did not finish in 500 rounds");
+        for p in exec.programs() {
+            assert_eq!(p.known.len(), k);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests (proptest) for the core invariants of the
+//! reproduction: the `NQ_k` bounds of Section 3, the clustering invariants of
+//! Lemma 3.5, the global scheduler's capacity guarantees, spanner stretch and
+//! SSSP label quality — all over randomly generated graphs and parameters.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use hybrid::core::cluster::{cluster_with_radius, ruling_set};
+use hybrid::core::nq::{lemma_3_6_bounds, NqOracle};
+use hybrid::core::spanner::{greedy_spanner, measured_stretch};
+use hybrid::core::sssp::quantize_distance;
+use hybrid::prelude::*;
+use hybrid::sim::{GlobalMessage, GlobalScheduler};
+
+/// A random connected graph drawn from one of the paper's families.
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (0u8..5, 10usize..120, any::<u64>()).prop_map(|(kind, n, seed)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        match kind {
+            0 => generators::path(n).unwrap(),
+            1 => generators::cycle(n.max(3)).unwrap(),
+            2 => {
+                let side = ((n as f64).sqrt().ceil() as usize).max(2);
+                generators::grid(&[side, side]).unwrap()
+            }
+            3 => generators::tree_balanced(2, ((n as f64).log2() as usize).max(1)).unwrap(),
+            _ => generators::erdos_renyi(n, (8.0 / n as f64).min(1.0), &mut rng).unwrap(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lemma 3.6: `sqrt(Dk/3n) < NQ_k <= min(D, sqrt(k))`.  The lower bound's
+    /// derivation uses Observation 3.2, which requires `NQ_k < D`; when the
+    /// workload is so large that `NQ_k` saturates at the diameter only the
+    /// upper bound is claimed.
+    #[test]
+    fn nq_respects_lemma_3_6(graph in arbitrary_graph(), k in 1u64..5000) {
+        let oracle = NqOracle::new(&graph);
+        let (lower, nq, upper) = lemma_3_6_bounds(&oracle, k);
+        if nq < oracle.diameter() {
+            prop_assert!((nq as f64) > lower, "lower bound violated: {lower} vs {nq}");
+        }
+        prop_assert!((nq as f64) <= upper + 1e-9, "upper bound violated: {nq} vs {upper}");
+    }
+
+    /// Lemma 3.7: `NQ_{alpha*k} <= 6*sqrt(alpha)*NQ_k`.
+    #[test]
+    fn nq_growth_respects_lemma_3_7(graph in arbitrary_graph(), k in 1u64..500, alpha in 1u64..20) {
+        let oracle = NqOracle::new(&graph);
+        let lhs = oracle.nq(alpha * k) as f64;
+        let rhs = 6.0 * (alpha as f64).sqrt() * oracle.nq(k) as f64;
+        prop_assert!(lhs <= rhs, "NQ_ak={lhs} > 6*sqrt(a)*NQ_k={rhs}");
+    }
+
+    /// NQ_k is monotone non-decreasing in the workload k.
+    #[test]
+    fn nq_monotone_in_k(graph in arbitrary_graph(), k in 1u64..2000) {
+        let oracle = NqOracle::new(&graph);
+        prop_assert!(oracle.nq(k) <= oracle.nq(k * 2));
+    }
+
+    /// The greedy ruling set satisfies both Definition 3.4 properties.
+    #[test]
+    fn ruling_set_properties(graph in arbitrary_graph(), alpha in 1u64..8) {
+        let rulers = ruling_set(&graph, alpha);
+        prop_assert!(!rulers.is_empty());
+        // Domination.
+        let ms = hybrid::graph::traversal::multi_source_bfs(&graph, &rulers);
+        prop_assert!(ms.dist.iter().all(|&d| d <= alpha.saturating_sub(1)));
+        // Spacing (checked from a sample of rulers to keep the test fast).
+        for &a in rulers.iter().take(5) {
+            let d = hybrid::graph::traversal::bfs(&graph, a);
+            for &b in rulers.iter().filter(|&&b| b != a).take(10) {
+                prop_assert!(d.dist[b as usize] >= alpha);
+            }
+        }
+    }
+
+    /// The Lemma 3.5 clustering is always a valid partition with the promised
+    /// weak diameter, for any radius parameter.
+    #[test]
+    fn clustering_is_always_valid(graph in arbitrary_graph(), radius in 1u64..12, k in 1u64..600) {
+        let arc = Arc::new(graph);
+        let mut net = HybridNetwork::hybrid0(Arc::clone(&arc));
+        let clustering = cluster_with_radius(&mut net, radius, k);
+        prop_assert!(clustering.validate(&arc).is_ok());
+    }
+
+    /// The global scheduler never exceeds the per-round receive cap, delivers
+    /// everything, and is within a constant factor of the load lower bound.
+    #[test]
+    fn scheduler_respects_capacity(
+        n in 2usize..40,
+        gamma in 1usize..8,
+        msgs in prop::collection::vec((any::<u16>(), any::<u16>()), 0..300),
+    ) {
+        let params = ModelParams::hybrid_with_global_capacity(n, gamma);
+        let messages: Vec<GlobalMessage> = msgs
+            .iter()
+            .map(|&(a, b)| GlobalMessage::new(a as u32 % n as u32, b as u32 % n as u32))
+            .collect();
+        let report = GlobalScheduler::deliver(&params, &messages);
+        prop_assert_eq!(report.messages, messages.len() as u64);
+        prop_assert!(report.max_received_in_a_round <= gamma as u64);
+        let bound = GlobalScheduler::lower_bound_rounds(&params, &messages);
+        prop_assert!(report.rounds >= bound);
+        prop_assert!(report.rounds <= 4 * bound + 4, "rounds {} vs bound {}", report.rounds, bound);
+    }
+
+    /// Distance quantization keeps labels within [d, (1+eps)d].
+    #[test]
+    fn quantization_bounds(d in 0u64..1_000_000_000, eps in 0.01f64..2.0) {
+        let q = quantize_distance(d, eps);
+        prop_assert!(q >= d);
+        prop_assert!(q as f64 <= (1.0 + eps) * d as f64 + 1e-6);
+    }
+
+    /// The greedy spanner respects its stretch bound on unweighted graphs.
+    #[test]
+    fn spanner_stretch_bound(graph in arbitrary_graph(), k in 2u64..4) {
+        let spanner = greedy_spanner(None, &graph, k);
+        let samples: Vec<u32> = (0..graph.n().min(5) as u32).collect();
+        let stretch = measured_stretch(&graph, &spanner.graph, &samples);
+        prop_assert!(stretch <= (2 * k - 1) as f64 + 1e-9);
+    }
+
+    /// Theorem 13 SSSP labels never underestimate and respect the stretch.
+    #[test]
+    fn sssp_labels_within_stretch(graph in arbitrary_graph(), eps in 0.05f64..1.0, src_sel in any::<u32>()) {
+        let arc = Arc::new(graph);
+        let source = src_sel % arc.n() as u32;
+        let mut net = HybridNetwork::hybrid0(Arc::clone(&arc));
+        let out = sssp_approx(&mut net, source, eps);
+        let exact = hybrid::graph::dijkstra::dijkstra(&arc, source).dist;
+        prop_assert!(out.verify_stretch(&exact).is_ok());
+    }
+
+    /// Universal dissemination always delivers every token and is never
+    /// slower than the sqrt(k) baseline.
+    #[test]
+    fn dissemination_complete_and_competitive(graph in arbitrary_graph(), k in 1u64..200) {
+        let arc = Arc::new(graph);
+        let oracle = NqOracle::new(&arc);
+        let holders: Vec<u32> = (0..arc.n() as u32).collect();
+        let tokens = hybrid::core::dissemination::place_tokens(&holders, k);
+        let mut net = HybridNetwork::hybrid0(Arc::clone(&arc));
+        let uni = k_dissemination(&mut net, &oracle, &tokens);
+        prop_assert_eq!(uni.tokens.len() as u64, k);
+        let mut net = HybridNetwork::hybrid0(Arc::clone(&arc));
+        let base = baseline_sqrt_k_dissemination(&mut net, &oracle, &tokens);
+        prop_assert!(uni.rounds <= base.rounds);
+    }
+}
