@@ -30,12 +30,16 @@ fn bench_nq(c: &mut Criterion) {
                     .collect::<Vec<_>>()
             })
         });
-        group.bench_with_input(BenchmarkId::new("lemma35_clustering", name), &graph, |b, g| {
-            b.iter(|| {
-                let mut net = HybridNetwork::hybrid0(Arc::clone(g));
-                cluster_by_nq(&mut net, &oracle, g.n() as u64 / 2)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lemma35_clustering", name),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let mut net = HybridNetwork::hybrid0(Arc::clone(g));
+                    cluster_by_nq(&mut net, &oracle, g.n() as u64 / 2)
+                })
+            },
+        );
     }
     group.finish();
 }

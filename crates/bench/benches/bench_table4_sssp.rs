@@ -16,12 +16,16 @@ fn bench_sssp(c: &mut Criterion) {
     for side in [16usize, 32] {
         let mut rng = ChaCha8Rng::seed_from_u64(side as u64);
         let graph = Arc::new(generators::weighted_grid(&[side, side], 32, &mut rng).unwrap());
-        group.bench_with_input(BenchmarkId::new("theorem13", side * side), &graph, |b, g| {
-            b.iter(|| {
-                let mut net = HybridNetwork::hybrid0(Arc::clone(g));
-                sssp_approx(&mut net, 0, 0.25)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("theorem13", side * side),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    let mut net = HybridNetwork::hybrid0(Arc::clone(g));
+                    sssp_approx(&mut net, 0, 0.25)
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("baseline_ks20", side * side),
             &graph,

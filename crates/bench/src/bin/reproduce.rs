@@ -14,10 +14,10 @@
 
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
 
 use hybrid_bench::scenarios::{
-    appendix_b_rows, figure1_rows, table1_rows, table2_rows, table3_rows, table4_rows,
-    GraphFamily,
+    appendix_b_rows, figure1_rows, table1_rows, table2_rows, table3_rows, table4_rows, GraphFamily,
 };
 use serde::Serialize;
 
@@ -33,6 +33,61 @@ fn write_json<T: Serialize>(name: &str, rows: &T) {
     }
 }
 
+/// Wall-clock measurement of one reproduce target.
+#[derive(Debug, Clone, Serialize)]
+struct TargetTiming {
+    /// Target name (`table1` … `appendix-b`).
+    target: &'static str,
+    /// Wall-clock milliseconds.
+    wall_ms: f64,
+}
+
+/// The machine-readable perf record `reproduce` emits so future PRs have a
+/// trajectory to beat.
+#[derive(Debug, Clone, Serialize)]
+struct BenchRecord {
+    /// Record schema identifier.
+    schema: &'static str,
+    /// Whether `--quick` sizes were used.
+    quick: bool,
+    /// Worker threads the parallel fan-outs could use.
+    threads: usize,
+    /// Per-target wall-clock times.
+    targets: Vec<TargetTiming>,
+    /// Sum over targets.
+    total_wall_ms: f64,
+}
+
+impl BenchRecord {
+    fn write(&self, full_sweep: bool) {
+        write_json("bench_last_run", self);
+        // The first *full* sweep (`reproduce all`) on a machine records the
+        // baseline later runs are compared against; partial runs never
+        // baseline (their target set would not match a full run), and an
+        // existing baseline is never clobbered (delete the file to
+        // re-baseline).
+        if !full_sweep {
+            return;
+        }
+        let baseline = Path::new("BENCH_baseline.json");
+        if !baseline.exists() {
+            if let Ok(json) = serde_json::to_string_pretty(self) {
+                let _ = fs::write(baseline, json);
+                println!("  (wrote {} — new perf baseline)", baseline.display());
+            }
+        }
+    }
+}
+
+/// Runs `f`, printing and returning its wall-clock time.
+fn timed(target: &'static str, f: impl FnOnce()) -> TargetTiming {
+    let start = Instant::now();
+    f();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("  [{target}: {wall_ms:.1} ms]");
+    TargetTiming { target, wall_ms }
+}
+
 fn run_table1(quick: bool) {
     let n = if quick { 256 } else { 1024 };
     let ks: Vec<u64> = if quick {
@@ -43,8 +98,16 @@ fn run_table1(quick: bool) {
     println!("\n=== Table 1: information dissemination (n = {n}) ===");
     println!(
         "{:<18}{:>6}{:>6}{:>8}{:>12}{:>12}{:>12}{:>12}{:>12}{:>10}",
-        "family", "k", "NQ_k", "sqrt(k)", "bcast-UNIV", "bcast-BASE", "aggr-UNIV", "route-UNIV",
-        "route-BASE", "lower-bnd"
+        "family",
+        "k",
+        "NQ_k",
+        "sqrt(k)",
+        "bcast-UNIV",
+        "bcast-BASE",
+        "aggr-UNIV",
+        "route-UNIV",
+        "route-BASE",
+        "lower-bnd"
     );
     let rows = table1_rows(GraphFamily::all(), n, &ks, 0xC0FFEE);
     for r in &rows {
@@ -70,8 +133,19 @@ fn run_table2(quick: bool) {
     println!("\n=== Table 2: APSP (n = {n}) ===");
     println!(
         "{:<14}{:>6}{:>7}{:>8}{:>11}{:>9}{:>11}{:>11}{:>9}{:>11}{:>9}{:>10}{:>10}",
-        "family", "n", "NQ_n", "sqrt(n)", "T6-UNIV", "T6-str", "T6-BASE", "T7-UNIV", "T7-str",
-        "T8-UNIV", "T8-str", "lit-sqrt", "lower-bnd"
+        "family",
+        "n",
+        "NQ_n",
+        "sqrt(n)",
+        "T6-UNIV",
+        "T6-str",
+        "T6-BASE",
+        "T7-UNIV",
+        "T7-str",
+        "T8-UNIV",
+        "T8-str",
+        "lit-sqrt",
+        "lower-bnd"
     );
     let rows = table2_rows(GraphFamily::core_families(), n, 0xBEEF);
     for r in &rows {
@@ -97,7 +171,11 @@ fn run_table2(quick: bool) {
 
 fn run_table3(quick: bool) {
     let n = if quick { 196 } else { 400 };
-    let ks: Vec<u64> = if quick { vec![16, 64] } else { vec![16, 64, 144] };
+    let ks: Vec<u64> = if quick {
+        vec![16, 64]
+    } else {
+        vec![16, 64, 144]
+    };
     println!("\n=== Table 3: (k, l)-shortest paths (n = {n}) ===");
     println!(
         "{:<14}{:>6}{:>5}{:>6}{:>8}{:>10}{:>9}{:>10}{:>10}",
@@ -125,14 +203,24 @@ fn run_table4(quick: bool) {
         "family", "n", "T13-ours", "stretch", "KS20-sqrt", "CHLP21", "AHK20", "AG21"
     );
     let rows = table4_rows(
-        &[GraphFamily::Grid2D, GraphFamily::ErdosRenyi, GraphFamily::Path],
+        &[
+            GraphFamily::Grid2D,
+            GraphFamily::ErdosRenyi,
+            GraphFamily::Path,
+        ],
         &sizes,
         0xDEAD,
     );
     for r in &rows {
         println!(
             "{:<18}{:>7}{:>10}{:>10.3}{:>12}{:>10}{:>10}{:>10}",
-            r.family, r.n, r.theorem13, r.theorem13_stretch, r.ks20_sqrt_n, r.chlp21, r.ahk20,
+            r.family,
+            r.n,
+            r.theorem13,
+            r.theorem13_stretch,
+            r.ks20_sqrt_n,
+            r.chlp21,
+            r.ahk20,
             r.ag21
         );
     }
@@ -151,7 +239,12 @@ fn run_figure1(quick: bool) {
     for r in &rows {
         println!(
             "{:<8.3}{:>8}{:>12}{:>10.3}{:>12}{:>12.3}{:>12}",
-            r.beta, r.k, r.new_algorithm, r.new_delta, r.prior_algorithm, r.prior_delta,
+            r.beta,
+            r.k,
+            r.new_algorithm,
+            r.new_delta,
+            r.prior_algorithm,
+            r.prior_delta,
             r.lower_bound
         );
     }
@@ -163,8 +256,8 @@ fn run_appendix_b(quick: bool) {
     let ks: Vec<u64> = vec![16, 64, 256, 1024, 4096];
     println!("\n=== Appendix B / Theorems 15-17: NQ_k on special families (n ~ {n}) ===");
     println!(
-        "{:<12}{:>7}{:>6}{:>7}{:>10}{:>11}  {}",
-        "family", "n", "D", "k", "measured", "predicted", "formula"
+        "{:<12}{:>7}{:>6}{:>7}{:>10}{:>11}  formula",
+        "family", "n", "D", "k", "measured", "predicted"
     );
     let rows = appendix_b_rows(n, &ks, 0xAB);
     for r in &rows {
@@ -185,26 +278,35 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "all".to_string());
 
-    match what.as_str() {
-        "table1" => run_table1(quick),
-        "table2" => run_table2(quick),
-        "table3" => run_table3(quick),
-        "table4" => run_table4(quick),
-        "figure1" => run_figure1(quick),
-        "appendix-b" => run_appendix_b(quick),
-        "all" => {
-            run_table1(quick);
-            run_table2(quick);
-            run_table3(quick);
-            run_table4(quick);
-            run_figure1(quick);
-            run_appendix_b(quick);
-        }
+    let timings = match what.as_str() {
+        "table1" => vec![timed("table1", || run_table1(quick))],
+        "table2" => vec![timed("table2", || run_table2(quick))],
+        "table3" => vec![timed("table3", || run_table3(quick))],
+        "table4" => vec![timed("table4", || run_table4(quick))],
+        "figure1" => vec![timed("figure1", || run_figure1(quick))],
+        "appendix-b" => vec![timed("appendix-b", || run_appendix_b(quick))],
+        "all" => vec![
+            timed("table1", || run_table1(quick)),
+            timed("table2", || run_table2(quick)),
+            timed("table3", || run_table3(quick)),
+            timed("table4", || run_table4(quick)),
+            timed("figure1", || run_figure1(quick)),
+            timed("appendix-b", || run_appendix_b(quick)),
+        ],
         other => {
             eprintln!(
                 "unknown target '{other}'; expected table1|table2|table3|table4|figure1|appendix-b|all"
             );
             std::process::exit(2);
         }
-    }
+    };
+    let total_wall_ms = timings.iter().map(|t| t.wall_ms).sum();
+    let record = BenchRecord {
+        schema: "hybrid-bench-baseline/v1",
+        quick,
+        threads: rayon::current_num_threads(),
+        targets: timings,
+        total_wall_ms,
+    };
+    record.write(what == "all");
 }

@@ -20,6 +20,5 @@
 pub mod scenarios;
 
 pub use scenarios::{
-    appendix_b_rows, figure1_rows, table1_rows, table2_rows, table3_rows, table4_rows,
-    GraphFamily,
+    appendix_b_rows, figure1_rows, table1_rows, table2_rows, table3_rows, table4_rows, GraphFamily,
 };

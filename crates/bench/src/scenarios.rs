@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 use serde::Serialize;
 
 use hybrid_core::apsp;
@@ -125,7 +126,7 @@ impl GraphFamily {
     /// Builds a weighted instance (random weights in `[1, 32]`).
     pub fn build_weighted(&self, n_target: usize, seed: u64) -> Graph {
         let base = self.build(n_target, seed);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED_0FEE_61u64);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5E_ED0F_EE61_u64);
         generators::with_random_weights(&base, 32, &mut rng).expect("weighted")
     }
 }
@@ -158,71 +159,83 @@ pub struct Table1Row {
 }
 
 /// Table 1 — information dissemination, across families and workloads.
+///
+/// Families are processed in parallel (each family is an independent
+/// experiment with its own graph, oracle and per-`k` RNGs); row order is
+/// deterministic and identical to the sequential sweep.
 pub fn table1_rows(families: &[GraphFamily], n: usize, ks: &[u64], seed: u64) -> Vec<Table1Row> {
-    let mut rows = Vec::new();
-    for family in families {
-        let graph = Arc::new(family.build(n, seed));
-        let oracle = NqOracle::new(&graph);
-        for &k in ks {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ k);
-            let holders = sample_distinct(graph.n(), graph.n().min(k as usize).max(1), &mut rng);
-            let tokens = place_tokens(&holders, k);
+    let per_family: Vec<Vec<Table1Row>> = families
+        .par_iter()
+        .map(|family| {
+            let mut rows = Vec::with_capacity(ks.len());
+            let graph = Arc::new(family.build(n, seed));
+            let oracle = NqOracle::new(&graph);
+            for &k in ks {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ k);
+                let holders =
+                    sample_distinct(graph.n(), graph.n().min(k as usize).max(1), &mut rng);
+                let tokens = place_tokens(&holders, k);
 
-            let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
-            let uni = k_dissemination(&mut net, &oracle, &tokens);
+                let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
+                let uni = k_dissemination(&mut net, &oracle, &tokens);
 
-            let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
-            let base = baseline_sqrt_k_dissemination(&mut net, &oracle, &tokens);
+                let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
+                let base = baseline_sqrt_k_dissemination(&mut net, &oracle, &tokens);
 
-            // Aggregation with a small value vector per node (k functions is
-            // too heavy for the sweep; use min(k, 16) which has the same
-            // round shape because the cost is dominated by the clustering).
-            let agg_k = (k as usize).min(16);
-            let values: Vec<Vec<u64>> = (0..graph.n() as u64)
-                .map(|v| (0..agg_k as u64).map(|i| v + i).collect())
-                .collect();
-            let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
-            let agg = k_aggregation(&mut net, &oracle, &values, |a, b| a.max(b));
+                // Aggregation with a small value vector per node (k functions is
+                // too heavy for the sweep; use min(k, 16) which has the same
+                // round shape because the cost is dominated by the clustering).
+                let agg_k = (k as usize).min(16);
+                let values: Vec<Vec<u64>> = (0..graph.n() as u64)
+                    .map(|v| (0..agg_k as u64).map(|i| v + i).collect())
+                    .collect();
+                let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
+                let agg = k_aggregation(&mut net, &oracle, &values, |a, b| a.max(b));
 
-            // Routing: k arbitrary sources, ℓ = NQ_k random targets.
-            let sources = sample_distinct(graph.n(), (k as usize).min(graph.n()), &mut rng);
-            let nq_k = oracle.nq(k).max(1);
-            let mut targets =
-                sample_with_probability(graph.n(), (nq_k as f64 / graph.n() as f64).min(1.0), &mut rng);
-            if targets.is_empty() {
-                targets.push((graph.n() / 2) as u32);
+                // Routing: k arbitrary sources, ℓ = NQ_k random targets.
+                let sources = sample_distinct(graph.n(), (k as usize).min(graph.n()), &mut rng);
+                let nq_k = oracle.nq(k).max(1);
+                let mut targets = sample_with_probability(
+                    graph.n(),
+                    (nq_k as f64 / graph.n() as f64).min(1.0),
+                    &mut rng,
+                );
+                if targets.is_empty() {
+                    targets.push((graph.n() / 2) as u32);
+                }
+                let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
+                let route_uni = kl_routing(
+                    &mut net,
+                    &oracle,
+                    &sources,
+                    &targets,
+                    RoutingScenario::ArbitrarySourcesRandomTargets,
+                    &mut rng,
+                );
+                let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
+                let route_base =
+                    baseline_sqrt_k_routing(&mut net, &oracle, &sources, &targets, &mut rng);
+
+                let lb = dissemination_lower_bound(&oracle, net.params(), k, 0.99);
+
+                rows.push(Table1Row {
+                    family: family.name(),
+                    n: graph.n(),
+                    k,
+                    nq: oracle.nq(k),
+                    sqrt_k: (k as f64).sqrt().ceil() as u64,
+                    dissemination_universal: uni.rounds,
+                    dissemination_baseline: base.rounds,
+                    aggregation_universal: agg.rounds,
+                    routing_universal: route_uni.rounds,
+                    routing_baseline: route_base.rounds,
+                    lower_bound: lb.rounds,
+                });
             }
-            let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
-            let route_uni = kl_routing(
-                &mut net,
-                &oracle,
-                &sources,
-                &targets,
-                RoutingScenario::ArbitrarySourcesRandomTargets,
-                &mut rng,
-            );
-            let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
-            let route_base =
-                baseline_sqrt_k_routing(&mut net, &oracle, &sources, &targets, &mut rng);
-
-            let lb = dissemination_lower_bound(&oracle, net.params(), k, 0.99);
-
-            rows.push(Table1Row {
-                family: family.name(),
-                n: graph.n(),
-                k,
-                nq: oracle.nq(k),
-                sqrt_k: (k as f64).sqrt().ceil() as u64,
-                dissemination_universal: uni.rounds,
-                dissemination_baseline: base.rounds,
-                aggregation_universal: agg.rounds,
-                routing_universal: route_uni.rounds,
-                routing_baseline: route_base.rounds,
-                lower_bound: lb.rounds,
-            });
-        }
-    }
-    rows
+            rows
+        })
+        .collect();
+    per_family.into_iter().flatten().collect()
 }
 
 /// One row of the Table 2 reproduction (APSP).
@@ -257,52 +270,68 @@ pub struct Table2Row {
 }
 
 /// Table 2 — APSP across families.
+///
+/// Families run in parallel; within a family the exact distance matrices
+/// (unweighted and weighted) are computed **once** and shared by every
+/// stretch verification instead of re-running `n` Dijkstras per output.
 pub fn table2_rows(families: &[GraphFamily], n: usize, seed: u64) -> Vec<Table2Row> {
-    let mut rows = Vec::new();
-    for family in families {
-        let graph = Arc::new(family.build(n, seed));
-        let oracle = NqOracle::new(&graph);
-        let weighted = Arc::new(family.build_weighted(n, seed));
-        let weighted_oracle = NqOracle::new(&weighted);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    families
+        .par_iter()
+        .map(|family| {
+            let graph = Arc::new(family.build(n, seed));
+            let oracle = NqOracle::new(&graph);
+            let weighted = Arc::new(family.build_weighted(n, seed));
+            // `NQ_k` is defined over hop distances, and `build_weighted` only
+            // re-weights the same topology — the weighted instance's oracle is
+            // identical, so the ball-profile sweep is paid once per family.
+            let weighted_oracle = &oracle;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let exact_unweighted = hybrid_graph::dijkstra::apsp_exact(&graph);
+            let exact_weighted = hybrid_graph::dijkstra::apsp_exact(&weighted);
 
-        let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
-        let uni = apsp::apsp_unweighted(&mut net, &oracle, 0.5);
-        let uni_stretch = uni.verify_stretch(&graph).expect("Theorem 6 stretch");
+            let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
+            let uni = apsp::apsp_unweighted(&mut net, &oracle, 0.5);
+            let uni_stretch = uni
+                .verify_stretch_against(&exact_unweighted)
+                .expect("Theorem 6 stretch");
 
-        let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
-        let base = apsp::baseline_unweighted_apsp_sqrt_n(&mut net, &oracle, 0.5);
+            let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
+            let base = apsp::baseline_unweighted_apsp_sqrt_n(&mut net, &oracle, 0.5);
 
-        let mut net = HybridNetwork::hybrid0(Arc::clone(&weighted));
-        let spanner = apsp::apsp_weighted_log_over_loglog(&mut net, &weighted_oracle);
-        let spanner_stretch = spanner.verify_stretch(&weighted).expect("Theorem 7 stretch");
+            let mut net = HybridNetwork::hybrid0(Arc::clone(&weighted));
+            let spanner = apsp::apsp_weighted_log_over_loglog(&mut net, weighted_oracle);
+            let spanner_stretch = spanner
+                .verify_stretch_against(&exact_weighted)
+                .expect("Theorem 7 stretch");
 
-        let mut net = HybridNetwork::hybrid0(Arc::clone(&weighted));
-        let skel = apsp::apsp_weighted_skeleton(&mut net, &weighted_oracle, 1, &mut rng);
-        let skel_stretch = skel.verify_stretch(&weighted).expect("Theorem 8 stretch");
+            let mut net = HybridNetwork::hybrid0(Arc::clone(&weighted));
+            let skel = apsp::apsp_weighted_skeleton(&mut net, weighted_oracle, 1, &mut rng);
+            let skel_stretch = skel
+                .verify_stretch_against(&exact_weighted)
+                .expect("Theorem 8 stretch");
 
-        let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
-        let lit = apsp::baseline_sqrt_n_apsp(&mut net);
+            let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
+            let lit = apsp::baseline_sqrt_n_apsp_from_labels(&mut net, exact_unweighted.clone());
 
-        let lb = shortest_paths_lower_bound(&oracle, net.params(), graph.n() as u64, 0.99);
+            let lb = shortest_paths_lower_bound(&oracle, net.params(), graph.n() as u64, 0.99);
 
-        rows.push(Table2Row {
-            family: family.name(),
-            n: graph.n(),
-            nq_n: oracle.nq(graph.n() as u64),
-            sqrt_n: (graph.n() as f64).sqrt().ceil() as u64,
-            unweighted_universal: uni.rounds,
-            unweighted_stretch: uni_stretch,
-            unweighted_baseline: base.rounds,
-            weighted_spanner_universal: spanner.rounds,
-            weighted_spanner_stretch: spanner_stretch,
-            weighted_skeleton_universal: skel.rounds,
-            weighted_skeleton_stretch: skel_stretch,
-            literature_sqrt_n: lit.rounds,
-            lower_bound: lb.rounds,
-        });
-    }
-    rows
+            Table2Row {
+                family: family.name(),
+                n: graph.n(),
+                nq_n: oracle.nq(graph.n() as u64),
+                sqrt_n: (graph.n() as f64).sqrt().ceil() as u64,
+                unweighted_universal: uni.rounds,
+                unweighted_stretch: uni_stretch,
+                unweighted_baseline: base.rounds,
+                weighted_spanner_universal: spanner.rounds,
+                weighted_spanner_stretch: spanner_stretch,
+                weighted_skeleton_universal: skel.rounds,
+                weighted_skeleton_stretch: skel_stretch,
+                literature_sqrt_n: lit.rounds,
+                lower_bound: lb.rounds,
+            }
+        })
+        .collect()
 }
 
 /// One row of the Table 3 reproduction (`(k, ℓ)`-SP).
@@ -331,57 +360,63 @@ pub struct Table3Row {
 }
 
 /// Table 3 — `(k, ℓ)`-SP across families and source counts.
+///
+/// Families run in parallel; per-`k` RNGs keep rows deterministic.
 pub fn table3_rows(families: &[GraphFamily], n: usize, ks: &[u64], seed: u64) -> Vec<Table3Row> {
-    let mut rows = Vec::new();
-    for family in families {
-        let graph = Arc::new(family.build_weighted(n, seed));
-        let oracle = NqOracle::new(&graph);
-        for &k in ks {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (k << 1));
-            let k_usize = (k as usize).min(graph.n());
-            let sources = sample_distinct(graph.n(), k_usize, &mut rng);
-            let nq_k = oracle.nq(k).max(1);
-            let mut targets = sample_with_probability(
-                graph.n(),
-                (nq_k as f64 / graph.n() as f64).min(1.0),
-                &mut rng,
-            );
-            if targets.is_empty() {
-                targets.push((graph.n() / 3) as u32);
+    let per_family: Vec<Vec<Table3Row>> = families
+        .par_iter()
+        .map(|family| {
+            let mut rows = Vec::with_capacity(ks.len());
+            let graph = Arc::new(family.build_weighted(n, seed));
+            let oracle = NqOracle::new(&graph);
+            for &k in ks {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (k << 1));
+                let k_usize = (k as usize).min(graph.n());
+                let sources = sample_distinct(graph.n(), k_usize, &mut rng);
+                let nq_k = oracle.nq(k).max(1);
+                let mut targets = sample_with_probability(
+                    graph.n(),
+                    (nq_k as f64 / graph.n() as f64).min(1.0),
+                    &mut rng,
+                );
+                if targets.is_empty() {
+                    targets.push((graph.n() / 3) as u32);
+                }
+
+                let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
+                let uni = klsp(
+                    &mut net,
+                    &oracle,
+                    &sources,
+                    &targets,
+                    0.25,
+                    KlspScenario::ArbitrarySourcesRandomTargets,
+                    &mut rng,
+                );
+                let stretch = uni.verify_stretch(&graph).expect("Theorem 5 stretch");
+
+                let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
+                let base = baseline_klsp(&mut net, &sources, &targets);
+
+                let lb = shortest_paths_lower_bound(&oracle, net.params(), k, 0.99);
+
+                rows.push(Table3Row {
+                    family: family.name(),
+                    n: graph.n(),
+                    k,
+                    l: targets.len(),
+                    nq: nq_k,
+                    sqrt_k: (k as f64).sqrt().ceil() as u64,
+                    universal: uni.rounds,
+                    stretch,
+                    baseline: base.rounds,
+                    lower_bound: lb.rounds,
+                });
             }
-
-            let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
-            let uni = klsp(
-                &mut net,
-                &oracle,
-                &sources,
-                &targets,
-                0.25,
-                KlspScenario::ArbitrarySourcesRandomTargets,
-                &mut rng,
-            );
-            let stretch = uni.verify_stretch(&graph).expect("Theorem 5 stretch");
-
-            let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
-            let base = baseline_klsp(&mut net, &sources, &targets);
-
-            let lb = shortest_paths_lower_bound(&oracle, net.params(), k, 0.99);
-
-            rows.push(Table3Row {
-                family: family.name(),
-                n: graph.n(),
-                k,
-                l: targets.len(),
-                nq: nq_k,
-                sqrt_k: (k as f64).sqrt().ceil() as u64,
-                universal: uni.rounds,
-                stretch,
-                baseline: base.rounds,
-                lower_bound: lb.rounds,
-            });
-        }
-    }
-    rows
+            rows
+        })
+        .collect();
+    per_family.into_iter().flatten().collect()
 }
 
 /// One row of the Table 4 reproduction (SSSP).
@@ -406,12 +441,19 @@ pub struct Table4Row {
 }
 
 /// Table 4 — SSSP across families and sizes.
+///
+/// Every (family, size) cell is an independent experiment; the whole grid is
+/// flattened and fanned out over all cores.
 pub fn table4_rows(families: &[GraphFamily], sizes: &[usize], seed: u64) -> Vec<Table4Row> {
-    let mut rows = Vec::new();
-    for family in families {
-        for &n in sizes {
+    let cells: Vec<(GraphFamily, usize)> = families
+        .iter()
+        .flat_map(|&family| sizes.iter().map(move |&n| (family, n)))
+        .collect();
+    cells
+        .par_iter()
+        .map(|&(family, n)| {
             let graph = Arc::new(family.build_weighted(n, seed));
-            let exact = hybrid_graph::dijkstra::dijkstra(&graph, 0).dist;
+            let exact = hybrid_graph::dijkstra::sssp_auto(&graph, 0);
 
             let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
             let ours = sssp_approx(&mut net, 0, 0.25);
@@ -428,19 +470,20 @@ pub fn table4_rows(families: &[GraphFamily], sizes: &[usize], seed: u64) -> Vec<
                 let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
                 baseline_sssp(&mut net, 0, b).rounds
             };
-            rows.push(Table4Row {
+            Table4Row {
                 family: family.name(),
                 n: graph.n(),
                 theorem13: ours.rounds,
                 theorem13_stretch: measured_stretch,
                 ks20_sqrt_n: baseline_rounds(SsspBaseline::Ks20SqrtN),
                 chlp21: baseline_rounds(SsspBaseline::Chlp21FiveSeventeenths),
-                ahk20: baseline_rounds(SsspBaseline::Ahk20NEps { exponent: 1.0 / 3.0 }),
+                ahk20: baseline_rounds(SsspBaseline::Ahk20NEps {
+                    exponent: 1.0 / 3.0,
+                }),
                 ag21: baseline_rounds(SsspBaseline::Ag21DeterministicSqrtN),
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// One row of the Figure 1 reproduction (k-SSP landscape).
@@ -463,30 +506,38 @@ pub struct Figure1Row {
 }
 
 /// Figure 1 — the k-SSP landscape on an Erdős–Rényi graph of `n` nodes.
+/// The betas sweep in parallel over a shared graph.
 pub fn figure1_rows(n: usize, betas: &[f64], seed: u64) -> Vec<Figure1Row> {
     let family = GraphFamily::ErdosRenyi;
     let graph = Arc::new(family.build(n, seed));
-    let mut rows = Vec::new();
-    for &beta in betas {
-        let k = ((n as f64).powf(beta).round() as usize).clamp(1, graph.n());
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (k as u64));
-        let sources = sample_distinct(graph.n(), k, &mut rng);
-        let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
-        let gamma = net.params().global_capacity_msgs;
-        let out = kssp(&mut net, &sources, 1.0, KsspVariant::RandomSources, &mut rng);
-        let n_f = graph.n() as f64;
-        let prior = baseline_chlp21_rounds(graph.n(), k);
-        rows.push(Figure1Row {
-            beta,
-            k,
-            new_algorithm: out.rounds,
-            new_delta: (out.rounds.max(1) as f64).ln() / n_f.ln(),
-            prior_algorithm: prior,
-            prior_delta: (prior.max(1) as f64).ln() / n_f.ln(),
-            lower_bound: kssp_lower_bound_rounds(k, gamma),
-        });
-    }
-    rows
+    betas
+        .par_iter()
+        .map(|&beta| {
+            let k = ((n as f64).powf(beta).round() as usize).clamp(1, graph.n());
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (k as u64));
+            let sources = sample_distinct(graph.n(), k, &mut rng);
+            let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
+            let gamma = net.params().global_capacity_msgs;
+            let out = kssp(
+                &mut net,
+                &sources,
+                1.0,
+                KsspVariant::RandomSources,
+                &mut rng,
+            );
+            let n_f = graph.n() as f64;
+            let prior = baseline_chlp21_rounds(graph.n(), k);
+            Figure1Row {
+                beta,
+                k,
+                new_algorithm: out.rounds,
+                new_delta: (out.rounds.max(1) as f64).ln() / n_f.ln(),
+                prior_algorithm: prior,
+                prior_delta: (prior.max(1) as f64).ln() / n_f.ln(),
+                lower_bound: kssp_lower_bound_rounds(k, gamma),
+            }
+        })
+        .collect()
 }
 
 /// One row of the Appendix B reproduction (`NQ_k` on special families).
@@ -508,38 +559,43 @@ pub struct AppendixBRow {
     pub formula: &'static str,
 }
 
-/// Appendix B / Theorems 15–17: measured vs. predicted `NQ_k`.
+/// Appendix B / Theorems 15–17: measured vs. predicted `NQ_k` (families in
+/// parallel).
 pub fn appendix_b_rows(n: usize, ks: &[u64], seed: u64) -> Vec<AppendixBRow> {
-    let mut rows = Vec::new();
     let cases: Vec<(GraphFamily, u32)> = vec![
         (GraphFamily::Path, 1),
         (GraphFamily::Cycle, 1),
         (GraphFamily::Grid2D, 2),
         (GraphFamily::Grid3D, 3),
     ];
-    for (family, dim) in cases {
-        let graph = family.build(n, seed);
-        let d = properties::diameter(&graph);
-        let oracle = NqOracle::new(&graph);
-        for &k in ks {
-            let measured = oracle.nq(k);
-            let prediction = if dim == 1 {
-                families::predict_path_like(k, d)
-            } else {
-                families::predict_grid(k, dim, d)
-            };
-            rows.push(AppendixBRow {
-                family: family.name(),
-                n: graph.n(),
-                diameter: d,
-                k,
-                measured,
-                predicted: prediction.theta_value,
-                formula: prediction.formula,
-            });
-        }
-    }
-    rows
+    let per_family: Vec<Vec<AppendixBRow>> = cases
+        .par_iter()
+        .map(|&(family, dim)| {
+            let graph = family.build(n, seed);
+            let d = properties::diameter(&graph);
+            let oracle = NqOracle::new(&graph);
+            ks.iter()
+                .map(|&k| {
+                    let measured = oracle.nq(k);
+                    let prediction = if dim == 1 {
+                        families::predict_path_like(k, d)
+                    } else {
+                        families::predict_grid(k, dim, d)
+                    };
+                    AppendixBRow {
+                        family: family.name(),
+                        n: graph.n(),
+                        diameter: d,
+                        k,
+                        measured,
+                        predicted: prediction.theta_value,
+                        formula: prediction.formula,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    per_family.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

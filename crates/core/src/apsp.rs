@@ -16,11 +16,13 @@
 //! Every function returns the full `n × n` label matrix so the test suite can
 //! verify the promised stretch against exact Dijkstra.
 
-use hybrid_graph::dijkstra::{dijkstra, hop_limited_distances};
-use hybrid_graph::traversal::bfs_bounded;
+use hybrid_graph::dijkstra::{
+    apsp_exact, hop_limited_distances_with, DijkstraWorkspace, HopLimitedWorkspace,
+};
 use hybrid_graph::{Graph, NodeId, Weight, INFINITY};
 use hybrid_sim::HybridNetwork;
 use rand::Rng;
+use rayon::prelude::*;
 
 use crate::dissemination::{disseminate_with_radius, RadiusPolicy, TokenPlacement};
 use crate::nq::NqOracle;
@@ -46,34 +48,52 @@ impl ApspOutput {
     /// Verifies all labels against exact distances and returns the maximum
     /// observed stretch.  Fails if a label underestimates or exceeds the
     /// promised stretch.
+    ///
+    /// Computes the exact distance matrix internally (in parallel, with
+    /// automatic oracle selection).  Call [`ApspOutput::verify_stretch_against`]
+    /// instead when several outputs are checked against the same graph, so
+    /// the `n` exact single-source runs are paid once.
     pub fn verify_stretch(&self, graph: &Graph) -> Result<f64, String> {
-        let mut worst: f64 = 1.0;
-        for v in 0..graph.n() {
-            let exact = dijkstra(graph, v as NodeId).dist;
-            for w in 0..graph.n() {
-                let e = exact[w];
-                let a = self.dist[v][w];
-                if e == 0 {
-                    if a != 0 {
-                        return Err(format!("({v},{w}): nonzero self label"));
+        self.verify_stretch_against(&apsp_exact(graph))
+    }
+
+    /// Verifies all labels against a precomputed exact distance matrix (as
+    /// returned by [`hybrid_graph::dijkstra::apsp_exact`]) and returns the
+    /// maximum observed stretch.
+    pub fn verify_stretch_against(&self, exact: &[Vec<Weight>]) -> Result<f64, String> {
+        let rows: Vec<Result<f64, String>> = (0..self.dist.len())
+            .into_par_iter()
+            .map(|v| {
+                let exact_row = &exact[v];
+                let mut worst: f64 = 1.0;
+                for (w, (&e, &a)) in exact_row.iter().zip(&self.dist[v]).enumerate() {
+                    if e == 0 {
+                        if a != 0 {
+                            return Err(format!("({v},{w}): nonzero self label"));
+                        }
+                        continue;
                     }
-                    continue;
+                    if a == INFINITY || e == INFINITY {
+                        return Err(format!("({v},{w}): infinite label on connected graph"));
+                    }
+                    if a < e {
+                        return Err(format!("({v},{w}): label {a} underestimates {e}"));
+                    }
+                    let ratio = a as f64 / e as f64;
+                    if ratio > self.stretch + 1e-9 {
+                        return Err(format!(
+                            "({v},{w}): stretch {ratio:.3} exceeds promised {}",
+                            self.stretch
+                        ));
+                    }
+                    worst = worst.max(ratio);
                 }
-                if a == INFINITY || e == INFINITY {
-                    return Err(format!("({v},{w}): infinite label on connected graph"));
-                }
-                if a < e {
-                    return Err(format!("({v},{w}): label {a} underestimates {e}"));
-                }
-                let ratio = a as f64 / e as f64;
-                if ratio > self.stretch + 1e-9 {
-                    return Err(format!(
-                        "({v},{w}): stretch {ratio:.3} exceeds promised {}",
-                        self.stretch
-                    ));
-                }
-                worst = worst.max(ratio);
-            }
+                Ok(worst)
+            })
+            .collect();
+        let mut worst: f64 = 1.0;
+        for row in rows {
+            worst = worst.max(row?);
         }
         Ok(worst)
     }
@@ -122,7 +142,13 @@ fn broadcast_tokens_with_policy(
 
 /// Broadcast with the universal (`NQ_k`) radius.
 fn broadcast_tokens(net: &mut HybridNetwork, oracle: &NqOracle, count: usize, origin: NodeId) {
-    broadcast_tokens_with_policy(net, oracle, count, origin, ApspRadiusPolicy::NeighborhoodQuality);
+    broadcast_tokens_with_policy(
+        net,
+        oracle,
+        count,
+        origin,
+        ApspRadiusPolicy::NeighborhoodQuality,
+    );
 }
 
 /// Theorem 6 / Algorithm 3 — deterministic `(1+ε)`-approximate APSP for
@@ -140,7 +166,8 @@ pub fn baseline_unweighted_apsp_sqrt_n(
     oracle: &NqOracle,
     epsilon: f64,
 ) -> ApspOutput {
-    let mut out = apsp_unweighted_with_policy(net, oracle, epsilon, ApspRadiusPolicy::WorstCaseSqrtK);
+    let mut out =
+        apsp_unweighted_with_policy(net, oracle, epsilon, ApspRadiusPolicy::WorstCaseSqrtK);
     out.algorithm = "baseline-sqrt-n-unweighted-apsp";
     out
 }
@@ -152,7 +179,10 @@ fn apsp_unweighted_with_policy(
     policy: ApspRadiusPolicy,
 ) -> ApspOutput {
     assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
-    assert!(!net.graph().is_weighted(), "Theorem 6 applies to unweighted graphs");
+    assert!(
+        !net.graph().is_weighted(),
+        "Theorem 6 applies to unweighted graphs"
+    );
     let before = net.rounds();
     let graph = net.graph_arc();
     let n = graph.n();
@@ -173,24 +203,33 @@ fn apsp_unweighted_with_policy(
         "apsp-unweighted/sssp-from-leaders",
         t_sssp.saturating_mul(leaders.len() as u64),
     );
-    let leader_dist: Vec<Vec<Weight>> = leaders
-        .iter()
-        .map(|&r| {
-            dijkstra(&graph, r)
-                .dist
-                .into_iter()
-                .map(|d| quantize_distance(d, eps_internal))
+    // One BFS per leader (unweighted ⇒ hop = weighted distance), fanned out
+    // over all cores; the raw rows double as the "hop distance to my leader"
+    // table in Step 5, so no per-node BFS is ever run.
+    let leader_hops: Vec<Vec<Weight>> = leaders
+        .par_iter()
+        .map_init(DijkstraWorkspace::new, |ws, &r| {
+            ws.run_bfs(&graph, r);
+            ws.dist().to_vec()
+        })
+        .collect();
+    let leader_dist: Vec<Vec<Weight>> = leader_hops
+        .par_iter()
+        .map(|row| {
+            row.iter()
+                .map(|&d| quantize_distance(d, eps_internal))
                 .collect()
         })
         .collect();
-    let leader_index_of_cluster: Vec<usize> = (0..clustering.len()).collect();
-    let _ = leader_index_of_cluster;
 
     // Step 4: every node learns its x-hop neighbourhood,
     // x = 4·NQ_n·⌈log n⌉ / ε'.
     let log_n = graph.log2_n() as u64;
     let x = (((4 * clustering.nq * log_n) as f64 / eps_internal).ceil() as u64).max(1);
-    net.charge_local("apsp-unweighted/learn-x-ball", x.min(oracle.diameter().max(1)));
+    net.charge_local(
+        "apsp-unweighted/learn-x-ball",
+        x.min(oracle.diameter().max(1)),
+    );
 
     // Step 5: every node broadcasts its closest cluster leader and the
     // distance to it (2n tokens).
@@ -198,21 +237,24 @@ fn apsp_unweighted_with_policy(
     // Closest leader of node w is the leader of its cluster; its hop distance
     // is exact (learned over the local network within the cluster).
     let closest_leader: Vec<usize> = (0..n).map(|v| clustering.cluster_of[v]).collect();
-    let dist_to_leader: Vec<Weight> = (0..n)
-        .map(|v| {
-            let leader = clustering.clusters[closest_leader[v]].leader;
-            hybrid_graph::traversal::bfs(&graph, leader).dist[v]
-        })
-        .collect();
+    let dist_to_leader: Vec<Weight> = (0..n).map(|v| leader_hops[closest_leader[v]][v]).collect();
 
-    // Step 6: compose labels.
+    // Step 6: compose labels (one bounded BFS per node, parallel, with a
+    // per-worker workspace so the sweep allocates nothing per source).
     let dist: Vec<Vec<Weight>> = (0..n as NodeId)
-        .map(|v| {
-            let ball = bfs_bounded(&graph, v, x);
+        .into_par_iter()
+        .map_init(DijkstraWorkspace::new, |ws, v| {
+            ws.run_bfs_bounded(&graph, v, x);
+            let ball = ws.dist();
+            if ws.reached().len() == n {
+                // The x-ball covers the whole graph (common: x has a 1/ε
+                // factor) — the row is exactly the ball distances.
+                return ball.to_vec();
+            }
             (0..n)
                 .map(|w| {
-                    if ball.dist[w] != INFINITY {
-                        ball.dist[w]
+                    if ball[w] != INFINITY {
+                        ball[w]
                     } else {
                         let cw = closest_leader[w];
                         leader_dist[cw][v as usize].saturating_add(dist_to_leader[w])
@@ -233,11 +275,14 @@ fn apsp_unweighted_with_policy(
 /// Theorem 7 — deterministic `(1 + ε·log n)`-approximate weighted APSP in
 /// `Õ(2^{1/ε}·NQ_n)` rounds: build a `(2k−1)`-spanner for
 /// `k = ⌈ε·log n / 2⌉`, broadcast it, answer locally.
-pub fn apsp_weighted_spanner(net: &mut HybridNetwork, oracle: &NqOracle, epsilon: f64) -> ApspOutput {
+pub fn apsp_weighted_spanner(
+    net: &mut HybridNetwork,
+    oracle: &NqOracle,
+    epsilon: f64,
+) -> ApspOutput {
     assert!(epsilon > 0.0, "epsilon must be positive");
     let before = net.rounds();
     let graph = net.graph_arc();
-    let n = graph.n();
     let log_n = graph.log2_n() as f64;
     let k = ((epsilon * log_n / 2.0).ceil() as u64).max(1);
 
@@ -245,10 +290,10 @@ pub fn apsp_weighted_spanner(net: &mut HybridNetwork, oracle: &NqOracle, epsilon
     // Broadcast the m* spanner edges with Theorem 1.
     broadcast_tokens(net, oracle, spanner.m(), 0);
 
-    // Every node answers locally from the spanner.
-    let dist: Vec<Vec<Weight>> = (0..n as NodeId)
-        .map(|v| dijkstra(&spanner.graph, v).dist)
-        .collect();
+    // Every node answers locally from the spanner (parallel fan-out; the
+    // spanner inherits the generators' small weights, so this takes the
+    // bucket-queue path).
+    let dist: Vec<Vec<Weight>> = apsp_exact(&spanner.graph);
 
     ApspOutput {
         dist,
@@ -283,9 +328,8 @@ pub fn apsp_weighted_skeleton(
     let n = graph.n();
     let nq_n = oracle.nq(n as u64).max(1) as f64;
     let alpha_f = alpha as f64;
-    let t = ((n as f64).powf(1.0 / (3.0 * alpha_f + 1.0))
-        * nq_n.powf(2.0 / (3.0 + 1.0 / alpha_f)))
-    .max(1.0);
+    let t = ((n as f64).powf(1.0 / (3.0 * alpha_f + 1.0)) * nq_n.powf(2.0 / (3.0 + 1.0 / alpha_f)))
+        .max(1.0);
 
     // Broadcast identifiers.
     broadcast_tokens(net, oracle, n, 0);
@@ -298,12 +342,20 @@ pub fn apsp_weighted_skeleton(
     // Every node learns its h-hop neighbourhood (h = ξ·t·ln n), finds its
     // closest skeleton node and broadcasts it together with the h-hop distance.
     let h = ((crate::skeleton::XI * t * ln_n(n)).ceil() as u64).max(1);
-    net.charge_local("apsp-skeleton/learn-h-ball", h.min(oracle.diameter().max(1)));
+    net.charge_local(
+        "apsp-skeleton/learn-h-ball",
+        h.min(oracle.diameter().max(1)),
+    );
     broadcast_tokens(net, oracle, 2 * n, 0);
 
-    // Data level.
+    // Data level: one allocation-lean hop-limited sweep per node, parallel.
     let hop_from_node: Vec<Vec<Weight>> = (0..n as NodeId)
-        .map(|v| hop_limited_distances(&graph, v, h as usize))
+        .into_par_iter()
+        .map_init(HopLimitedWorkspace::new, |ws, v| {
+            let mut row = Vec::new();
+            hop_limited_distances_with(ws, &graph, v, h as usize, &mut row);
+            row
+        })
         .collect();
     // Closest skeleton node per node (by h-hop distance).
     let closest_skeleton: Vec<Option<(usize, Weight)>> = (0..n)
@@ -318,11 +370,10 @@ pub fn apsp_weighted_skeleton(
         })
         .collect();
     // (2α−1)-approximate distances between skeleton nodes from the spanner.
-    let spanner_dist: Vec<Vec<Weight>> = (0..skeleton.len() as NodeId)
-        .map(|j| dijkstra(&spanner.graph, j).dist)
-        .collect();
+    let spanner_dist: Vec<Vec<Weight>> = apsp_exact(&spanner.graph);
 
     let dist: Vec<Vec<Weight>> = (0..n)
+        .into_par_iter()
         .map(|v| {
             (0..n)
                 .map(|w| {
@@ -331,9 +382,8 @@ pub fn apsp_weighted_skeleton(
                         (closest_skeleton[v], closest_skeleton[w])
                     {
                         if spanner_dist[vs][ws] != INFINITY {
-                            best = best.min(
-                                dvs.saturating_add(spanner_dist[vs][ws]).saturating_add(dws),
-                            );
+                            best = best
+                                .min(dvs.saturating_add(spanner_dist[vs][ws]).saturating_add(dws));
                         }
                     }
                     best
@@ -356,9 +406,8 @@ pub fn apsp_weighted_skeleton(
 pub fn apsp_sparse_exact(net: &mut HybridNetwork, oracle: &NqOracle) -> ApspOutput {
     let before = net.rounds();
     let graph = net.graph_arc();
-    let n = graph.n();
     broadcast_tokens(net, oracle, graph.m(), 0);
-    let dist: Vec<Vec<Weight>> = (0..n as NodeId).map(|v| dijkstra(&graph, v).dist).collect();
+    let dist: Vec<Vec<Weight>> = apsp_exact(&graph);
     ApspOutput {
         dist,
         stretch: 1.0,
@@ -371,12 +420,25 @@ pub fn apsp_sparse_exact(net: &mut HybridNetwork, oracle: &NqOracle) -> ApspOutp
 /// in `Õ(√n)` rounds ([AHK+20], [KS20]).  Computes exact labels and charges
 /// the published bound (`√n·log n`).
 pub fn baseline_sqrt_n_apsp(net: &mut HybridNetwork) -> ApspOutput {
-    let before = net.rounds();
     let graph = net.graph_arc();
-    let n = graph.n();
-    let rounds = (((n.max(2) as f64).sqrt() * graph.log2_n() as f64).ceil() as u64).max(1);
+    let dist = apsp_exact(&graph);
+    baseline_sqrt_n_apsp_from_labels(net, dist)
+}
+
+/// [`baseline_sqrt_n_apsp`] with precomputed exact labels — the baseline's
+/// labels are exact by definition, so a caller that already holds the exact
+/// distance matrix (e.g. for stretch verification of the other rows) can
+/// hand it over instead of paying the `n` single-source runs again.  The
+/// charged round count is unchanged.
+pub fn baseline_sqrt_n_apsp_from_labels(
+    net: &mut HybridNetwork,
+    dist: Vec<Vec<Weight>>,
+) -> ApspOutput {
+    let before = net.rounds();
+    let n = net.graph().n();
+    debug_assert_eq!(dist.len(), n, "labels must cover every node");
+    let rounds = (((n.max(2) as f64).sqrt() * net.graph().log2_n() as f64).ceil() as u64).max(1);
     net.charge_rounds("apsp/baseline-sqrt-n", rounds);
-    let dist: Vec<Vec<Weight>> = (0..n as NodeId).map(|v| dijkstra(&graph, v).dist).collect();
     ApspOutput {
         dist,
         stretch: 1.0,
@@ -411,7 +473,10 @@ mod tests {
 
     #[test]
     fn unweighted_apsp_stretch_holds_on_tree_and_cycle() {
-        for g in [generators::tree_balanced(2, 5).unwrap(), generators::cycle(40).unwrap()] {
+        for g in [
+            generators::tree_balanced(2, 5).unwrap(),
+            generators::cycle(40).unwrap(),
+        ] {
             let (g, oracle, mut net) = setup(g);
             let out = apsp_unweighted(&mut net, &oracle, 0.8);
             out.verify_stretch(&g).unwrap();
@@ -439,8 +504,7 @@ mod tests {
     #[test]
     fn log_over_loglog_apsp_has_moderate_stretch() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let (g, oracle, mut net) =
-            setup(generators::weighted_grid(&[6, 6], 9, &mut rng).unwrap());
+        let (g, oracle, mut net) = setup(generators::weighted_grid(&[6, 6], 9, &mut rng).unwrap());
         let out = apsp_weighted_log_over_loglog(&mut net, &oracle);
         out.verify_stretch(&g).unwrap();
         // O(log n / log log n) for n = 36 is small; sanity-bound it.
@@ -450,8 +514,7 @@ mod tests {
     #[test]
     fn skeleton_apsp_stretch_holds() {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let (g, oracle, mut net) =
-            setup(generators::weighted_grid(&[7, 7], 6, &mut rng).unwrap());
+        let (g, oracle, mut net) = setup(generators::weighted_grid(&[7, 7], 6, &mut rng).unwrap());
         let out = apsp_weighted_skeleton(&mut net, &oracle, 1, &mut rng);
         let worst = out.verify_stretch(&g).unwrap();
         assert!(worst <= 3.0);

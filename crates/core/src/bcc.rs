@@ -49,7 +49,11 @@ pub fn simulate_bcc(
     let mut per_round_cost = 0;
     for r in 0..rounds {
         let values = step(r, &history);
-        assert_eq!(values.len(), n, "one broadcast value per node per BCC round");
+        assert_eq!(
+            values.len(),
+            n,
+            "one broadcast value per node per BCC round"
+        );
         // One BCC round = n-dissemination of one token per node (Theorem 1).
         // Tag each broadcast value with its round and sender so the token
         // values are globally distinct (the broadcast layer deduplicates by

@@ -139,14 +139,16 @@ pub fn ruling_set(graph: &Graph, alpha: u64) -> Vec<NodeId> {
     let n = graph.n();
     let mut dominated = vec![false; n];
     let mut rulers = Vec::new();
+    let mut ws = hybrid_graph::dijkstra::DijkstraWorkspace::with_capacity(n);
     for v in 0..n as NodeId {
         if dominated[v as usize] {
             continue;
         }
         rulers.push(v);
-        // Mark everything within alpha - 1 hops as dominated.
-        let reach = bfs_bounded(graph, v, alpha - 1);
-        for &u in &reach.order {
+        // Mark everything within alpha - 1 hops as dominated (one bounded
+        // BFS on the shared workspace — no per-ruler allocation).
+        ws.run_bfs_bounded(graph, v, alpha - 1);
+        for &u in ws.reached() {
             dominated[u as usize] = true;
         }
     }
@@ -204,7 +206,7 @@ pub fn cluster_with_radius(net: &mut HybridNetwork, radius: u64, k: u64) -> Clus
     net.charge_local("clustering/learn-cluster", 4 * nq);
 
     // Phase 5: split oversized clusters locally (no communication).
-    let target_min = ((k + nq - 1) / nq).max(1) as usize; // ceil(k / NQ_k)
+    let target_min = k.div_ceil(nq).max(1) as usize; // ceil(k / NQ_k)
     let target_max = 2 * target_min;
     let mut clusters = Vec::new();
     for (i, members) in raw_clusters.into_iter().enumerate() {
@@ -262,7 +264,11 @@ mod tests {
         let mut net = HybridNetwork::hybrid0(Arc::clone(&g));
         let clustering = cluster_by_nq(&mut net, &oracle, k);
         let rounds = net.rounds();
-        (clustering, rounds, Arc::try_unwrap(g).unwrap_or_else(|a| (*a).clone()))
+        (
+            clustering,
+            rounds,
+            Arc::try_unwrap(g).unwrap_or_else(|a| (*a).clone()),
+        )
     }
 
     #[test]

@@ -47,11 +47,7 @@ pub struct CutsOutput {
 
 /// Builds the cut sparsifier, charging the `Õ(1/ε²)` construction rounds of
 /// the distributed algorithm it substitutes.
-pub fn cut_sparsifier(
-    net: &mut HybridNetwork,
-    epsilon: f64,
-    rng: &mut impl Rng,
-) -> CutSparsifier {
+pub fn cut_sparsifier(net: &mut HybridNetwork, epsilon: f64, rng: &mut impl Rng) -> CutSparsifier {
     assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
     let graph = net.graph_arc();
     let n = graph.n();

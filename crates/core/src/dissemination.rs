@@ -23,8 +23,6 @@
 //! graphs whose neighbourhoods grow faster than a path's, `NQ_k ≪ √k` and the
 //! universal algorithm wins; on paths the two coincide (Theorem 15).
 
-use std::collections::BTreeSet;
-
 use hybrid_graph::NodeId;
 use hybrid_sim::{CostMeter, GlobalMessage, HybridNetwork};
 
@@ -206,9 +204,23 @@ pub fn disseminate_with_radius(
     net.deliver_global("dissemination/cluster-chaining", &chaining_msgs);
 
     // Phase 3: per-cluster load balancing of the initial tokens (Lemma 4.1).
-    let mut cluster_tokens: Vec<Vec<u64>> = vec![Vec::new(); clustering.len()];
+    //
+    // Token sets are represented as fixed-universe bitsets over the distinct
+    // token values (dense `k`-bit vectors): the converge-cast then unions
+    // sets with word-wide ORs and sizes them with popcounts instead of
+    // shuffling `BTreeSet`s around — the message *schedule* handed to the
+    // global scheduler is unchanged, only the data level got cheap.
+    let mut values: Vec<u64> = tokens.iter().map(|&(_, v)| v).collect();
+    values.sort_unstable();
+    values.dedup();
+    let words = values.len().div_ceil(64);
+    let popcnt = |set: &[u64]| -> usize { set.iter().map(|w| w.count_ones() as usize).sum() };
+    let mut known: Vec<Vec<u64>> = vec![vec![0u64; words]; clustering.len()];
     for &(holder, value) in tokens {
-        cluster_tokens[clustering.cluster_of[holder as usize]].push(value);
+        let idx = values
+            .binary_search(&value)
+            .expect("value is in the universe");
+        known[clustering.cluster_of[holder as usize]][idx / 64] |= 1u64 << (idx % 64);
     }
     net.charge_local(
         "dissemination/load-balance",
@@ -218,14 +230,14 @@ pub fn disseminate_with_radius(
     // Phase 4a: converge-cast all tokens up the cluster tree, level by level.
     // Clusters accumulate the token sets of their subtrees.
     let levels = cluster_tree.levels();
-    let mut known: Vec<BTreeSet<u64>> = cluster_tokens
-        .iter()
-        .map(|ts| ts.iter().copied().collect())
-        .collect();
     let mut max_tokens_per_node = 0u64;
+    let mut batch: Vec<GlobalMessage> = Vec::new();
     for level in levels.iter().rev() {
-        let mut batch: Vec<GlobalMessage> = Vec::new();
-        let mut transfers: Vec<(usize, Vec<u64>)> = Vec::new();
+        batch.clear();
+        // Within a level every position is a child sending to a parent one
+        // level up, so the in-place unions below never feed a set that still
+        // has to emit its own payload this level.
+        let mut merges: Vec<(usize, usize)> = Vec::new();
         for &pos in level {
             let Some(parent_pos) = cluster_tree.parent[pos] else {
                 continue;
@@ -234,15 +246,15 @@ pub fn disseminate_with_radius(
             let parent_idx = pos_to_cluster[parent_pos];
             let child = &clustering.clusters[child_idx];
             let parent = &clustering.clusters[parent_idx];
-            let payload: Vec<u64> = known[child_idx].iter().copied().collect();
+            let payload_len = popcnt(&known[child_idx]);
             max_tokens_per_node =
-                max_tokens_per_node.max(payload.len().div_ceil(child.members.len()) as u64);
-            for (i, _token) in payload.iter().enumerate() {
+                max_tokens_per_node.max(payload_len.div_ceil(child.members.len()) as u64);
+            for i in 0..payload_len {
                 let from = child.members[i % child.members.len()];
                 let to = parent.members[i % parent.members.len()];
                 batch.push(GlobalMessage::new(from, to));
             }
-            transfers.push((parent_idx, payload));
+            merges.push((parent_idx, child_idx));
         }
         if !batch.is_empty() {
             // Re-balance inside each cluster before sending (Lemma 4.1).
@@ -252,25 +264,31 @@ pub fn disseminate_with_radius(
             );
             net.deliver_global("dissemination/converge-cast-up", &batch);
         }
-        for (parent_idx, payload) in transfers {
-            known[parent_idx].extend(payload);
+        for (parent_idx, child_idx) in merges {
+            let (dst, src) = if parent_idx < child_idx {
+                let (a, b) = known.split_at_mut(child_idx);
+                (&mut a[parent_idx], &b[0])
+            } else {
+                let (a, b) = known.split_at_mut(parent_idx);
+                (&mut b[0], &a[child_idx])
+            };
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d |= s;
+            }
         }
     }
     let root_cluster = pos_to_cluster[cluster_tree.root()];
     debug_assert_eq!(
-        known[root_cluster].len(),
-        tokens
-            .iter()
-            .map(|&(_, v)| v)
-            .collect::<BTreeSet<_>>()
-            .len(),
+        popcnt(&known[root_cluster]),
+        values.len(),
         "root cluster must have gathered every distinct token"
     );
 
     // Phase 4b: broadcast all tokens back down the tree, level by level.
-    let all_tokens: Vec<u64> = known[root_cluster].iter().copied().collect();
+    let all_tokens: Vec<u64> = values;
+    let full: Vec<u64> = known[root_cluster].clone();
     for level in levels.iter() {
-        let mut batch: Vec<GlobalMessage> = Vec::new();
+        batch.clear();
         for &pos in level {
             let Some(parent_pos) = cluster_tree.parent[pos] else {
                 continue;
@@ -279,12 +297,12 @@ pub fn disseminate_with_radius(
             let parent_idx = pos_to_cluster[parent_pos];
             let child = &clustering.clusters[child_idx];
             let parent = &clustering.clusters[parent_idx];
-            for (i, _token) in all_tokens.iter().enumerate() {
+            for i in 0..all_tokens.len() {
                 let from = parent.members[i % parent.members.len()];
                 let to = child.members[i % child.members.len()];
                 batch.push(GlobalMessage::new(from, to));
             }
-            known[child_idx].extend(all_tokens.iter().copied());
+            known[child_idx].copy_from_slice(&full);
         }
         if !batch.is_empty() {
             net.charge_local(
@@ -302,7 +320,7 @@ pub fn disseminate_with_radius(
     );
 
     // Every cluster now knows every token.
-    debug_assert!(known.iter().all(|s| s.len() == all_tokens.len()));
+    debug_assert!(known.iter().all(|s| popcnt(s) == all_tokens.len()));
 
     DisseminationOutput {
         k,
@@ -427,15 +445,8 @@ pub fn k_aggregation(
         clustering.weak_diameter_bound.max(1),
     );
     let root_leader = clustering.clusters[root_cluster].leader;
-    let result_tokens: Vec<TokenPlacement> =
-        results.iter().map(|&r| (root_leader, r)).collect();
-    let _ = disseminate_with_radius(
-        net,
-        oracle,
-        &result_tokens,
-        nq,
-        RadiusPolicy::Fixed(nq),
-    );
+    let result_tokens: Vec<TokenPlacement> = results.iter().map(|&r| (root_leader, r)).collect();
+    let _ = disseminate_with_radius(net, oracle, &result_tokens, nq, RadiusPolicy::Fixed(nq));
 
     AggregationOutput {
         k: k as u64,
@@ -451,7 +462,9 @@ pub fn k_aggregation(
 /// on a single node when `holders` has one element).
 pub fn place_tokens(holders: &[NodeId], k: u64) -> Vec<TokenPlacement> {
     assert!(!holders.is_empty());
-    (0..k).map(|t| (holders[(t as usize) % holders.len()], t)).collect()
+    (0..k)
+        .map(|t| (holders[(t as usize) % holders.len()], t))
+        .collect()
 }
 
 #[cfg(test)]
@@ -519,7 +532,10 @@ mod tests {
         );
         // On a 2-D grid NQ_200 ≈ 200^(1/3) ≈ 6 < √200 ≈ 15, so the gap should
         // be visible, not marginal.
-        assert!(uni.rounds * 3 < base.rounds * 2, "expected a clear win on the grid");
+        assert!(
+            uni.rounds * 3 < base.rounds * 2,
+            "expected a clear win on the grid"
+        );
     }
 
     #[test]
@@ -533,7 +549,10 @@ mod tests {
         let (_, oracle_b, mut net_b) = setup(g);
         let base = baseline_sqrt_k_dissemination(&mut net_b, &oracle_b, &tokens);
         assert!(uni.rounds <= base.rounds);
-        assert!(base.rounds <= 2 * uni.rounds, "path should show no large gap");
+        assert!(
+            base.rounds <= 2 * uni.rounds,
+            "path should show no large gap"
+        );
     }
 
     #[test]
@@ -572,7 +591,10 @@ mod tests {
             .collect();
         let out = k_aggregation(&mut net, &oracle, &values, |a, b| a.max(b));
         let vmax = (n - 1) as u64;
-        assert_eq!(out.results, (1..=k as u64).map(|i| i * vmax).collect::<Vec<_>>());
+        assert_eq!(
+            out.results,
+            (1..=k as u64).map(|i| i * vmax).collect::<Vec<_>>()
+        );
 
         let (_, oracle2, mut net2) = setup(generators::grid(&[6, 6]).unwrap());
         let out_sum = k_aggregation(&mut net2, &oracle2, &values, |a, b| a + b);

@@ -36,7 +36,10 @@ impl KWiseHash {
         let coefficients = (0..kappa)
             .map(|_| rng.gen_range(0..FIELD_PRIME as u64))
             .collect();
-        KWiseHash { coefficients, range }
+        KWiseHash {
+            coefficients,
+            range,
+        }
     }
 
     /// Independence of the family this function was drawn from.

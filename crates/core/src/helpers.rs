@@ -95,8 +95,8 @@ pub fn adaptive_helper_sets(
         if members_in_w.is_empty() {
             continue;
         }
-        let q = ((k as f64 / nq as f64) * (1.0 / cluster.members.len() as f64) * log_factor)
-            .min(1.0);
+        let q =
+            ((k as f64 / nq as f64) * (1.0 / cluster.members.len() as f64) * log_factor).min(1.0);
         for &w in &members_in_w {
             let mut helpers: Vec<NodeId> = cluster
                 .members
@@ -168,7 +168,10 @@ pub fn ks20_helper_sets(
             .collect();
         candidates.sort_unstable();
         let take = (mu as usize).min(candidates.len()).max(1);
-        sets.insert(w, candidates.into_iter().take(take).map(|(_, v)| v).collect());
+        sets.insert(
+            w,
+            candidates.into_iter().take(take).map(|(_, v)| v).collect(),
+        );
     }
     Ks20HelperSets { sets, mu }
 }

@@ -70,7 +70,10 @@ impl KlspOutput {
                 }
                 let ratio = a as f64 / e as f64;
                 if ratio > self.stretch + 1e-9 {
-                    return Err(format!("({s},{t}): stretch {ratio} exceeds {}", self.stretch));
+                    return Err(format!(
+                        "({s},{t}): stretch {ratio} exceeds {}",
+                        self.stretch
+                    ));
                 }
                 worst = worst.max(ratio);
             }
@@ -148,7 +151,11 @@ pub fn klsp(
 
     // Assemble what each target has learned.
     let dist: Vec<Vec<Weight>> = (0..l)
-        .map(|ti| (0..k).map(|si| target_labels[ti][sources[si] as usize]).collect())
+        .map(|ti| {
+            (0..k)
+                .map(|si| target_labels[ti][sources[si] as usize])
+                .collect()
+        })
         .collect();
 
     KlspOutput {
@@ -233,11 +240,14 @@ mod tests {
     #[test]
     fn case2_random_sources_random_targets_weighted() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let (g, oracle, mut net) =
-            setup(generators::weighted_grid(&[9, 9], 7, &mut rng).unwrap());
+        let (g, oracle, mut net) = setup(generators::weighted_grid(&[9, 9], 7, &mut rng).unwrap());
         let sources = sample_with_probability(g.n(), 0.3, &mut rng);
         let targets = sample_with_probability(g.n(), 0.05, &mut rng);
-        let targets = if targets.is_empty() { vec![10] } else { targets };
+        let targets = if targets.is_empty() {
+            vec![10]
+        } else {
+            targets
+        };
         let out = klsp(
             &mut net,
             &oracle,

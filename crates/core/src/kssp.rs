@@ -17,8 +17,9 @@
 //! provided by [`baseline_chlp21_rounds`].
 
 use rand::Rng;
+use rayon::prelude::*;
 
-use hybrid_graph::dijkstra::{dijkstra, hop_limited_distances};
+use hybrid_graph::dijkstra::{hop_limited_distances_with, DijkstraWorkspace, HopLimitedWorkspace};
 use hybrid_graph::{NodeId, Weight, INFINITY};
 use hybrid_sim::HybridNetwork;
 
@@ -53,31 +54,36 @@ pub struct KsspOutput {
 }
 
 impl KsspOutput {
-    /// Verifies every label against exact distances (one Dijkstra per source).
+    /// Verifies every label against exact distances (one exact single-source
+    /// run per source, parallel with per-worker workspaces).
     pub fn verify_stretch(&self, graph: &hybrid_graph::Graph) -> Result<(), String> {
-        for (i, &s) in self.sources.iter().enumerate() {
-            let exact = dijkstra(graph, s).dist;
-            for v in 0..graph.n() {
-                let e = exact[v];
-                let a = self.dist[i][v];
-                if e == INFINITY || a == INFINITY {
-                    if e != a {
-                        return Err(format!("reachability mismatch source {s} node {v}"));
+        let rows: Vec<Result<(), String>> = (0..self.sources.len())
+            .into_par_iter()
+            .map_init(DijkstraWorkspace::new, |ws, i| {
+                let s = self.sources[i];
+                ws.run(graph, s);
+                let exact = ws.dist();
+                for (v, (&e, &a)) in exact.iter().zip(&self.dist[i]).enumerate() {
+                    if e == INFINITY || a == INFINITY {
+                        if e != a {
+                            return Err(format!("reachability mismatch source {s} node {v}"));
+                        }
+                        continue;
                     }
-                    continue;
+                    if a < e {
+                        return Err(format!("source {s} node {v}: {a} underestimates {e}"));
+                    }
+                    if (a as f64) > self.stretch * (e as f64) + 1e-9 {
+                        return Err(format!(
+                            "source {s} node {v}: {a} exceeds stretch {} of {e}",
+                            self.stretch
+                        ));
+                    }
                 }
-                if a < e {
-                    return Err(format!("source {s} node {v}: {a} underestimates {e}"));
-                }
-                if (a as f64) > self.stretch * (e as f64) + 1e-9 {
-                    return Err(format!(
-                        "source {s} node {v}: {a} exceeds stretch {} of {e}",
-                        self.stretch
-                    ));
-                }
-            }
-        }
-        Ok(())
+                Ok(())
+            })
+            .collect();
+        rows.into_iter().collect()
     }
 }
 
@@ -116,12 +122,12 @@ pub fn kssp(
         let t = sssp_round_cost(net, epsilon);
         net.charge_rounds("kssp/parallel-sssp (k <= gamma)", t);
         let dist = sources
-            .iter()
-            .map(|&s| {
-                dijkstra(&graph, s)
-                    .dist
-                    .into_iter()
-                    .map(|d| quantize_distance(d, epsilon))
+            .par_iter()
+            .map_init(DijkstraWorkspace::new, |ws, &s| {
+                ws.run(&graph, s);
+                ws.dist()
+                    .iter()
+                    .map(|&d| quantize_distance(d, epsilon))
                     .collect()
             })
             .collect();
@@ -195,15 +201,19 @@ fn compute_labels(
     epsilon: f64,
     variant: KsspVariant,
 ) -> Vec<Vec<Weight>> {
-    let n = graph.n();
     let h = skeleton.h as usize;
 
     // h-hop-limited distances from every skeleton node to every node of G
     // (what h rounds of local flooding give each node about nearby skeletons).
+    // Parallel fan-out with per-worker relaxation buffers.
     let from_skeleton: Vec<Vec<Weight>> = skeleton
         .nodes
-        .iter()
-        .map(|&u| hop_limited_distances(graph, u, h))
+        .par_iter()
+        .map_init(HopLimitedWorkspace::new, |ws, &u| {
+            let mut row = Vec::new();
+            hop_limited_distances_with(ws, graph, u, h, &mut row);
+            row
+        })
         .collect();
 
     // For each source: its skeleton node (itself, or its closest proxy).
@@ -226,54 +236,76 @@ fn compute_labels(
         .collect();
 
     // Skeleton-graph SSSP (Theorem 13 instances scheduled by Lemma 9.3),
-    // quantized by the allowed error.
+    // quantized by the allowed error.  One run per distinct anchor, parallel.
     let mut anchors: Vec<usize> = source_anchor.iter().map(|&(a, _)| a).collect();
     anchors.sort_unstable();
     anchors.dedup();
-    let mut skeleton_dist: std::collections::HashMap<usize, Vec<Weight>> =
-        std::collections::HashMap::new();
-    for &a in &anchors {
-        let d = dijkstra(&skeleton.graph, a as NodeId)
-            .dist
-            .into_iter()
-            .map(|d| quantize_distance(d, epsilon))
-            .collect();
-        skeleton_dist.insert(a, d);
-    }
+    let anchor_rows: Vec<(usize, Vec<Weight>)> = anchors
+        .par_iter()
+        .map_init(DijkstraWorkspace::new, |ws, &a| {
+            ws.run(&skeleton.graph, a as NodeId);
+            let row = ws
+                .dist()
+                .iter()
+                .map(|&d| quantize_distance(d, epsilon))
+                .collect();
+            (a, row)
+        })
+        .collect();
+    let skeleton_dist: std::collections::HashMap<usize, Vec<Weight>> =
+        anchor_rows.into_iter().collect();
 
     // Direct h-hop distances from the sources themselves (needed for nodes
-    // whose shortest path to the source is shorter than h hops).
-    let direct: Vec<Vec<Weight>> = sources
-        .iter()
-        .map(|&s| hop_limited_distances(graph, s, h))
+    // whose shortest path to the source is shorter than h hops).  A source
+    // that is itself a skeleton node (always, in the random-sources regime)
+    // already has its row in `from_skeleton` — only the others get a fresh
+    // sweep.
+    let direct: Vec<Option<Vec<Weight>>> = sources
+        .par_iter()
+        .map_init(HopLimitedWorkspace::new, |ws, &s| {
+            if skeleton.contains(s) {
+                None
+            } else {
+                let mut row = Vec::new();
+                hop_limited_distances_with(ws, graph, s, h, &mut row);
+                Some(row)
+            }
+        })
         .collect();
 
-    sources
-        .iter()
-        .enumerate()
-        .map(|(i, _)| {
+    (0..sources.len())
+        .into_par_iter()
+        .map(|i| {
             let (anchor, anchor_offset) = source_anchor[i];
             let sk_d = &skeleton_dist[&anchor];
-            (0..n)
-                .map(|v| {
-                    let mut best = direct[i][v];
-                    for (j, d) in from_skeleton.iter().enumerate() {
-                        let via = d[v];
-                        if via == INFINITY || sk_d[j] == INFINITY {
-                            continue;
-                        }
-                        let candidate = via
-                            .saturating_add(sk_d[j])
-                            .saturating_add(if matches!(variant, KsspVariant::ArbitrarySources) {
-                                anchor_offset
-                            } else {
-                                0
-                            });
-                        best = best.min(candidate);
+            let offset = if matches!(variant, KsspVariant::ArbitrarySources) {
+                anchor_offset
+            } else {
+                0
+            };
+            // min over skeleton nodes j of d_h(j, v) + d_skel(anchor, j)
+            // (+ proxy offset), with the skeleton loop *outside* the node
+            // loop: each from_skeleton row streams sequentially instead of
+            // striding column-wise through |skeleton| rows per node.
+            let mut best = match &direct[i] {
+                Some(row) => row.clone(),
+                None => from_skeleton[skeleton.index_of[sources[i] as usize]].clone(),
+            };
+            for (j, from_row) in from_skeleton.iter().enumerate() {
+                if sk_d[j] == INFINITY {
+                    continue;
+                }
+                let base = sk_d[j].saturating_add(offset);
+                for (b, &via) in best.iter_mut().zip(from_row) {
+                    // An INFINITY `via` saturates to u64::MAX and loses the
+                    // min — no reachability branch needed in the hot loop.
+                    let candidate = via.saturating_add(base);
+                    if candidate < *b {
+                        *b = candidate;
                     }
-                    best
-                })
-                .collect()
+                }
+            }
+            best
         })
         .collect()
 }
@@ -309,7 +341,13 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let gamma = net.params().global_capacity_msgs;
         let sources = sample_distinct(g.n(), gamma.min(4), &mut rng);
-        let out = kssp(&mut net, &sources, 0.5, KsspVariant::ArbitrarySources, &mut rng);
+        let out = kssp(
+            &mut net,
+            &sources,
+            0.5,
+            KsspVariant::ArbitrarySources,
+            &mut rng,
+        );
         assert_eq!(out.skeleton_size, 0);
         assert_eq!(out.stretch, 1.5);
         out.verify_stretch(&g).unwrap();
@@ -327,7 +365,13 @@ mod tests {
             }
             s
         };
-        let out = kssp(&mut net, &sources, 0.25, KsspVariant::RandomSources, &mut rng);
+        let out = kssp(
+            &mut net,
+            &sources,
+            0.25,
+            KsspVariant::RandomSources,
+            &mut rng,
+        );
         assert!(out.skeleton_size > 0);
         assert!((out.stretch - 1.25).abs() < 1e-9);
         out.verify_stretch(&g).unwrap();
@@ -341,7 +385,13 @@ mod tests {
         let mut net = HybridNetwork::hybrid(Arc::clone(&g));
         // Adversarially concentrated sources in one corner.
         let sources: Vec<NodeId> = (0..25).collect();
-        let out = kssp(&mut net, &sources, 0.5, KsspVariant::ArbitrarySources, &mut rng);
+        let out = kssp(
+            &mut net,
+            &sources,
+            0.5,
+            KsspVariant::ArbitrarySources,
+            &mut rng,
+        );
         assert!(out.skeleton_size > 0);
         out.verify_stretch(&g).unwrap();
     }
@@ -364,9 +414,21 @@ mod tests {
         let large_k = sample_distinct(g.n(), 200, &mut rng);
 
         let mut net_small = HybridNetwork::hybrid(Arc::clone(&g));
-        let out_small = kssp(&mut net_small, &small_k, 1.0, KsspVariant::RandomSources, &mut rng);
+        let out_small = kssp(
+            &mut net_small,
+            &small_k,
+            1.0,
+            KsspVariant::RandomSources,
+            &mut rng,
+        );
         let mut net_large = HybridNetwork::hybrid(Arc::clone(&g));
-        let out_large = kssp(&mut net_large, &large_k, 1.0, KsspVariant::RandomSources, &mut rng);
+        let out_large = kssp(
+            &mut net_large,
+            &large_k,
+            1.0,
+            KsspVariant::RandomSources,
+            &mut rng,
+        );
 
         // √(200/γ) vs √(32/γ): a factor ≈ 2.5; allow generous slack but the
         // growth must be far below linear in k (factor 6.25).

@@ -89,13 +89,8 @@ pub fn dissemination_lower_bound(
     let h = (r / 3).saturating_sub(1).max(1);
     let ball = oracle.ball_size(witness, h) as u64;
     let entropy = k as f64 / 2.0;
-    let rounds = node_communication_lower_bound(
-        entropy,
-        ball,
-        params.gamma_bits(),
-        h,
-        success_probability,
-    );
+    let rounds =
+        node_communication_lower_bound(entropy, ball, params.gamma_bits(), h, success_probability);
     LowerBoundWitness {
         witness,
         hop_distance: h,

@@ -127,7 +127,7 @@ impl Orientation {
 pub fn eulerian_orientation(net: Option<&mut HybridNetwork>, graph: &Graph) -> Orientation {
     for v in graph.nodes() {
         assert!(
-            graph.degree(v) % 2 == 0,
+            graph.degree(v).is_multiple_of(2),
             "node {v} has odd degree; the graph is not Eulerian"
         );
     }
@@ -217,7 +217,12 @@ mod tests {
         let g = Arc::new(generators::path(6).unwrap());
         let mut net = HybridNetwork::hybrid0(Arc::clone(&g));
         let inputs = vec![1u64, 2, 4, 8, 16, 32];
-        let ma = MinorAggregation::round(&mut net, |e| e == 0 || e == 1 || e == 4, &inputs, |a, b| a + b);
+        let ma = MinorAggregation::round(
+            &mut net,
+            |e| e == 0 || e == 1 || e == 4,
+            &inputs,
+            |a, b| a + b,
+        );
         // Supernodes: {0,1,2}, {3}, {4,5}.
         assert_eq!(ma.supernode_of[0], 0);
         assert_eq!(ma.supernode_of[2], 0);

@@ -78,8 +78,14 @@ mod tests {
         for &k in &[16u64, 64, 256, 400] {
             let measured = oracle.nq(k) as f64;
             let predicted = predict_path_like(k, d).theta_value;
-            assert!(measured >= predicted / 3.0, "k={k}: {measured} vs {predicted}");
-            assert!(measured <= predicted * 3.0, "k={k}: {measured} vs {predicted}");
+            assert!(
+                measured >= predicted / 3.0,
+                "k={k}: {measured} vs {predicted}"
+            );
+            assert!(
+                measured <= predicted * 3.0,
+                "k={k}: {measured} vs {predicted}"
+            );
         }
     }
 
@@ -91,8 +97,14 @@ mod tests {
         for &k in &[8u64, 64, 216, 400] {
             let measured = oracle.nq(k) as f64;
             let predicted = predict_grid(k, 2, d).theta_value;
-            assert!(measured >= predicted / 4.0, "k={k}: {measured} vs {predicted}");
-            assert!(measured <= predicted * 4.0, "k={k}: {measured} vs {predicted}");
+            assert!(
+                measured >= predicted / 4.0,
+                "k={k}: {measured} vs {predicted}"
+            );
+            assert!(
+                measured <= predicted * 4.0,
+                "k={k}: {measured} vs {predicted}"
+            );
         }
     }
 
@@ -113,7 +125,10 @@ mod tests {
         let ks: Vec<u64> = vec![27, 125, 343, 1000];
         let values: Vec<u64> = ks.iter().map(|&k| oracle.nq(k)).collect();
         let e = fit_exponent(&ks, &values).unwrap();
-        assert!((e - 1.0 / 3.0).abs() < 0.12, "fitted exponent {e} not near 1/3");
+        assert!(
+            (e - 1.0 / 3.0).abs() < 0.12,
+            "fitted exponent {e} not near 1/3"
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@
 pub mod families;
 
 use hybrid_graph::balls::BallOracle;
-use hybrid_graph::{properties, Graph, NodeId};
+use hybrid_graph::{Graph, NodeId};
 use hybrid_sim::HybridNetwork;
 
 /// Exact, centralized oracle for `NQ_k(v)` and `NQ_k(G)` with cached ball
@@ -36,9 +36,13 @@ pub struct NqOracle {
 
 impl NqOracle {
     /// Precomputes ball-size profiles for every node (up to the diameter).
+    ///
+    /// A single parallel BFS sweep serves double duty: each node's profile
+    /// stops growing exactly at its eccentricity, so the diameter is read off
+    /// the profile lengths instead of running a second `n`-BFS pass.
     pub fn new(graph: &Graph) -> Self {
-        let diameter = properties::diameter(graph);
-        let balls = BallOracle::new(graph, diameter.max(1));
+        let balls = BallOracle::new(graph, u64::MAX);
+        let diameter = balls.max_eccentricity();
         NqOracle {
             balls,
             diameter,
@@ -228,7 +232,10 @@ mod tests {
             for &k in &[1u64, 5, 25, 100, (g.n() as u64)] {
                 let (lower, nq, upper) = lemma_3_6_bounds(&oracle, k);
                 assert!((nq as f64) > lower, "lower bound violated: {lower} !< {nq}");
-                assert!((nq as f64) <= upper + 1e-9, "upper bound violated: {nq} !<= {upper}");
+                assert!(
+                    (nq as f64) <= upper + 1e-9,
+                    "upper bound violated: {nq} !<= {upper}"
+                );
             }
         }
     }
@@ -255,7 +262,10 @@ mod tests {
         let w = oracle.witness(k);
         for r in 1..nq {
             let ball = oracle.ball_size(w, r) as u128;
-            assert!(ball * (r as u128) < (k as u128), "Lemma 3.8 violated at r={r}");
+            assert!(
+                ball * (r as u128) < (k as u128),
+                "Lemma 3.8 violated at r={r}"
+            );
         }
     }
 

@@ -36,7 +36,10 @@ impl VirtualTree {
     /// # Panics
     /// Panics if `participants` is empty.
     pub fn build(net: &mut HybridNetwork, participants: &[NodeId]) -> Self {
-        assert!(!participants.is_empty(), "virtual tree needs at least one node");
+        assert!(
+            !participants.is_empty(),
+            "virtual tree needs at least one node"
+        );
         let mut sorted: Vec<NodeId> = participants.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
@@ -52,11 +55,11 @@ impl VirtualTree {
         let mut parent = vec![None; m];
         let mut children = vec![Vec::new(); m];
         let mut depth = vec![0u32; m];
-        for i in 0..m {
+        for (i, kids) in children.iter_mut().enumerate() {
             for c in [2 * i + 1, 2 * i + 2] {
                 if c < m {
                     parent[c] = Some(i);
-                    children[i].push(c);
+                    kids.push(c);
                 }
             }
         }
@@ -138,10 +141,11 @@ pub fn basic_aggregation(
     let tree = VirtualTree::build(net, &participants);
     // Converge-cast + broadcast: 2 * height rounds of one O(log n)-bit message
     // per tree edge per round, well within the per-node global capacity.
-    net.charge_rounds("overlay/aggregate-convergecast", 2 * tree.height() as u64 + 2);
-    let value = values[1..]
-        .iter()
-        .fold(values[0], |acc, &v| f(acc, v));
+    net.charge_rounds(
+        "overlay/aggregate-convergecast",
+        2 * tree.height() as u64 + 2,
+    );
+    let value = values[1..].iter().fold(values[0], |acc, &v| f(acc, v));
     BasicAggregation {
         value,
         rounds: net.rounds() - before,
@@ -155,7 +159,10 @@ pub fn basic_dissemination(net: &mut HybridNetwork, token_holder: NodeId, token:
     let participants: Vec<NodeId> = net.graph().nodes().collect();
     let tree = VirtualTree::build(net, &participants);
     let _ = (token_holder, token);
-    net.charge_rounds("overlay/disseminate-broadcast", 2 * tree.height() as u64 + 2);
+    net.charge_rounds(
+        "overlay/disseminate-broadcast",
+        2 * tree.height() as u64 + 2,
+    );
     net.rounds() - before
 }
 
@@ -220,7 +227,11 @@ mod tests {
         let out = basic_aggregation(&mut network, &values, |a, b| a.max(b));
         assert_eq!(out.value, 127);
         let log_n = 7u64;
-        assert!(out.rounds <= 3 * log_n * log_n, "rounds {} not Õ(1)", out.rounds);
+        assert!(
+            out.rounds <= 3 * log_n * log_n,
+            "rounds {} not Õ(1)",
+            out.rounds
+        );
         let sum = basic_aggregation(&mut network, &values, |a, b| a + b);
         assert_eq!(sum.value, 127 * 128 / 2);
     }

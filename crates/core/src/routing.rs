@@ -78,9 +78,11 @@ impl RoutingOutput {
     /// Whether every target received every source's message.
     pub fn is_complete(&self, sources: &[NodeId], targets: &[NodeId]) -> bool {
         let source_set: BTreeSet<NodeId> = sources.iter().copied().collect();
-        targets
-            .iter()
-            .all(|t| self.received.get(t).map_or(sources.is_empty(), |r| *r == source_set))
+        targets.iter().all(|t| {
+            self.received
+                .get(t)
+                .map_or(sources.is_empty(), |r| *r == source_set)
+        })
     }
 }
 
@@ -96,18 +98,24 @@ pub fn kl_routing(
 ) -> RoutingOutput {
     match scenario {
         RoutingScenario::ArbitrarySourcesRandomTargets => {
-            let nq = compute_nq(net, oracle, sources.len().max(1) as u64).nq.max(1);
+            let nq = compute_nq(net, oracle, sources.len().max(1) as u64)
+                .nq
+                .max(1);
             route_engine(net, oracle, sources, targets, nq, false, rng)
         }
         RoutingScenario::RandomSourcesRandomTargets => {
-            let nq = compute_nq(net, oracle, sources.len().max(1) as u64).nq.max(1);
+            let nq = compute_nq(net, oracle, sources.len().max(1) as u64)
+                .nq
+                .max(1);
             route_engine(net, oracle, sources, targets, nq, true, rng)
         }
         RoutingScenario::RandomSourcesArbitraryTargets => {
             // Case (2) reduces to case (1) with the roles of sources and
             // targets reversed: a logging pass is routed from targets to
             // sources and the real messages retrace it (proof of Theorem 3).
-            let nq_l = compute_nq(net, oracle, targets.len().max(1) as u64).nq.max(1);
+            let nq_l = compute_nq(net, oracle, targets.len().max(1) as u64)
+                .nq
+                .max(1);
             // Logging pass (reverse direction).
             let logging = route_engine(net, oracle, targets, sources, nq_l, false, rng);
             // Retrace pass: same communication pattern in reverse, same cost.

@@ -8,8 +8,10 @@
 //! slightly stronger) size bound and the same stretch, and charge the `Õ(1)`
 //! CONGEST rounds of the cited construction (see DESIGN.md, substitutions).
 
-use hybrid_graph::dijkstra::hop_limited_distances;
-use hybrid_graph::{Graph, GraphBuilder, Weight};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use hybrid_graph::{Graph, GraphBuilder, NodeId, Weight, INFINITY};
 use hybrid_sim::HybridNetwork;
 
 /// A spanner together with its parameters.
@@ -30,6 +32,69 @@ impl Spanner {
     }
 }
 
+/// The partially built spanner during the greedy scan: an incremental
+/// adjacency list plus the reusable buffers of a distance-bounded Dijkstra.
+///
+/// The greedy test only asks "does the spanner built *so far* contain a
+/// `u`–`v` path of weight at most `limit`?", so instead of materializing a
+/// CSR graph per candidate edge (the previous implementation cloned the
+/// builder and re-ran Bellman–Ford every time, `O(m·n)` allocations), we run
+/// a Dijkstra from `u` that prunes at `limit` and stops the moment `v` is
+/// settled, sparse-resetting only the touched entries afterwards.
+struct PartialSpanner {
+    adj: Vec<Vec<(NodeId, Weight)>>,
+    dist: Vec<Weight>,
+    touched: Vec<NodeId>,
+    heap: BinaryHeap<Reverse<(Weight, NodeId)>>,
+}
+
+impl PartialSpanner {
+    fn new(n: usize) -> Self {
+        PartialSpanner {
+            adj: vec![Vec::new(); n],
+            dist: vec![INFINITY; n],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn add_edge(&mut self, u: NodeId, v: NodeId, w: Weight) {
+        self.adj[u as usize].push((v, w));
+        self.adj[v as usize].push((u, w));
+    }
+
+    /// Whether the current spanner has a `u`–`v` path of weight `≤ limit`.
+    fn has_path_within(&mut self, u: NodeId, v: NodeId, limit: Weight) -> bool {
+        for &t in &self.touched {
+            self.dist[t as usize] = INFINITY;
+        }
+        self.touched.clear();
+        self.heap.clear();
+        self.dist[u as usize] = 0;
+        self.touched.push(u);
+        self.heap.push(Reverse((0, u)));
+        while let Some(Reverse((d, x))) = self.heap.pop() {
+            if d > self.dist[x as usize] {
+                continue; // stale
+            }
+            if x == v {
+                return true;
+            }
+            for &(y, w) in &self.adj[x as usize] {
+                let nd = d + w;
+                if nd <= limit && nd < self.dist[y as usize] {
+                    if self.dist[y as usize] == INFINITY {
+                        self.touched.push(y);
+                    }
+                    self.dist[y as usize] = nd;
+                    self.heap.push(Reverse((nd, y)));
+                }
+            }
+        }
+        false
+    }
+}
+
 /// Greedy `(2k−1)`-spanner: process edges by non-decreasing weight and keep an
 /// edge iff the spanner built so far has no path between its endpoints of
 /// weight at most `(2k−1)·w`.  The result has at most `n^{1+1/k}` edges
@@ -43,30 +108,18 @@ pub fn greedy_spanner(net: Option<&mut HybridNetwork>, graph: &Graph, k: u64) ->
     if let Some(net) = net {
         net.charge_rounds("spanner/rg20-construction", net.polylog(2));
     }
-    let mut edges: Vec<(Weight, u32, u32)> = graph
-        .edges()
-        .iter()
-        .map(|&(u, v, w)| (w, u, v))
-        .collect();
+    let mut edges: Vec<(Weight, u32, u32)> =
+        graph.edges().iter().map(|&(u, v, w)| (w, u, v)).collect();
     edges.sort_unstable();
 
+    let mut partial = PartialSpanner::new(graph.n());
     let mut builder = GraphBuilder::new(graph.n());
     for &(w, u, v) in &edges {
-        // Check whether the spanner built so far already offers a path of
-        // weight at most (2k-1)·w between u and v.  A path of that weight in
-        // the partial spanner uses at most (2k-1) edges in the unweighted case
-        // and never more than n-1 edges in general; we bound the hop budget by
-        // the stretch for unweighted inputs and fall back to n-1 otherwise.
-        let current = builder.clone().build_unchecked_connectivity();
-        let budget = if graph.is_weighted() {
-            current.n().saturating_sub(1)
-        } else {
-            stretch as usize
-        };
-        let dist = hop_limited_distances(&current, u, budget);
-        let keep = dist[v as usize] == hybrid_graph::INFINITY
-            || dist[v as usize] > stretch.saturating_mul(w);
-        if keep {
+        // A path of weight ≤ (2k−1)·w makes the edge redundant.  (In the
+        // unweighted case such a path automatically has ≤ 2k−1 edges, so the
+        // distance bound subsumes the hop bound the definition mentions.)
+        if !partial.has_path_within(u, v, stretch.saturating_mul(w)) {
+            partial.add_edge(u, v, w);
             builder
                 .add_edge(u, v, w)
                 .expect("input edges are valid and unique");

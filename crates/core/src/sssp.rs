@@ -68,8 +68,8 @@ impl SsspCostModel {
     /// network of `n` nodes.
     pub fn rounds(&self, n: usize, epsilon: f64) -> u64 {
         let log_n = hybrid_sim::ModelParams::log_n(n) as f64;
-        let raw = self.constant * log_n.powi(self.log_power as i32)
-            / epsilon.powi(self.eps_power as i32);
+        let raw =
+            self.constant * log_n.powi(self.log_power as i32) / epsilon.powi(self.eps_power as i32);
         (raw.ceil() as u64).max(1)
     }
 }
@@ -93,9 +93,7 @@ pub struct SsspOutput {
 impl SsspOutput {
     /// Verifies `d(v) ≤ label(v) ≤ stretch · d(v)` against exact distances.
     pub fn verify_stretch(&self, exact: &[Weight]) -> Result<(), String> {
-        for v in 0..exact.len() {
-            let e = exact[v];
-            let a = self.dist[v];
+        for (v, (&e, &a)) in exact.iter().zip(&self.dist).enumerate() {
             if e == INFINITY || a == INFINITY {
                 if e != a {
                     return Err(format!("reachability mismatch at node {v}"));
@@ -142,7 +140,10 @@ pub fn sssp_approx_with_cost(
     assert!(epsilon > 0.0, "epsilon must be positive");
     let graph = net.graph_arc();
     let exact = dijkstra(&graph, source).dist;
-    let dist: Vec<Weight> = exact.iter().map(|&d| quantize_distance(d, epsilon)).collect();
+    let dist: Vec<Weight> = exact
+        .iter()
+        .map(|&d| quantize_distance(d, epsilon))
+        .collect();
     let rounds = cost.rounds(graph.n(), epsilon);
     net.charge_rounds("sssp/theorem13-minor-aggregation", rounds);
     SsspOutput {
@@ -206,7 +207,11 @@ impl SsspBaseline {
 /// Runs a prior-work baseline: computes distance labels within its published
 /// stretch (exact labels for exact baselines, quantized otherwise) and
 /// charges its published round bound.
-pub fn baseline_sssp(net: &mut HybridNetwork, source: NodeId, baseline: SsspBaseline) -> SsspOutput {
+pub fn baseline_sssp(
+    net: &mut HybridNetwork,
+    source: NodeId,
+    baseline: SsspBaseline,
+) -> SsspOutput {
     let graph = net.graph_arc();
     let n = graph.n();
     let exact = dijkstra(&graph, source).dist;

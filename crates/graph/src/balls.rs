@@ -9,7 +9,10 @@
 
 use std::collections::VecDeque;
 
+use rayon::prelude::*;
+
 use crate::csr::{Graph, NodeId};
+use crate::dijkstra::DijkstraWorkspace;
 
 /// Members of the ball `B_t(v)` (unsorted).
 pub fn ball_members(graph: &Graph, v: NodeId, t: u64) -> Vec<NodeId> {
@@ -75,9 +78,28 @@ impl BallOracle {
     /// `max_radius` only needs to be an upper bound on the radii the caller
     /// will query (e.g. the diameter, or `√k_max` by Lemma 3.6).
     pub fn new(graph: &Graph, max_radius: u64) -> Self {
-        let profiles = graph
-            .nodes()
-            .map(|v| ball_size_profile(graph, v, max_radius))
+        // One bounded BFS per node, fanned out over all cores; the worker
+        // workspace makes each profile an allocation-free sweep (the profile
+        // itself is read off the workspace's settle order, which is sorted by
+        // distance).
+        let profiles = (0..graph.n() as NodeId)
+            .into_par_iter()
+            .map_init(DijkstraWorkspace::new, |ws, v| {
+                ws.run_bfs_bounded(graph, v, max_radius);
+                let dist = ws.dist();
+                let reached = ws.reached();
+                let max_d = reached.last().map(|&u| dist[u as usize]).unwrap_or(0);
+                let mut profile = vec![0usize; max_d as usize + 1];
+                for &u in reached {
+                    profile[dist[u as usize] as usize] += 1;
+                }
+                let mut acc = 0usize;
+                for slot in profile.iter_mut() {
+                    acc += *slot;
+                    *slot = acc;
+                }
+                profile
+            })
             .collect();
         BallOracle {
             profiles,
@@ -102,6 +124,22 @@ impl BallOracle {
     /// The full profile of node `v`.
     pub fn profile(&self, v: NodeId) -> &[usize] {
         &self.profiles[v as usize]
+    }
+
+    /// Eccentricity of `v`, provided the oracle was built with `max_radius`
+    /// at least the graph's diameter: the profile stops growing exactly at
+    /// the eccentricity, so its length encodes it for free.
+    pub fn eccentricity(&self, v: NodeId) -> u64 {
+        (self.profiles[v as usize].len() - 1) as u64
+    }
+
+    /// Maximum eccentricity over all nodes (the hop diameter, when built with
+    /// an unbounded radius).
+    pub fn max_eccentricity(&self) -> u64 {
+        (0..self.n as NodeId)
+            .map(|v| self.eccentricity(v))
+            .max()
+            .unwrap_or(0)
     }
 }
 

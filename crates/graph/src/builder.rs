@@ -44,10 +44,16 @@ impl GraphBuilder {
     /// or duplicate edges.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Weight) -> Result<&mut Self> {
         if u as usize >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: u, n: self.n as u32 });
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                n: self.n as u32,
+            });
         }
         if v as usize >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: v, n: self.n as u32 });
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                n: self.n as u32,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
@@ -128,9 +134,17 @@ impl GraphBuilder {
         ];
         for (idx, &(u, v, w)) in self.edges.iter().enumerate() {
             let e = idx as EdgeId;
-            arcs[cursor[u as usize] as usize] = Arc { to: v, weight: w, edge: e };
+            arcs[cursor[u as usize] as usize] = Arc {
+                to: v,
+                weight: w,
+                edge: e,
+            };
             cursor[u as usize] += 1;
-            arcs[cursor[v as usize] as usize] = Arc { to: u, weight: w, edge: e };
+            arcs[cursor[v as usize] as usize] = Arc {
+                to: u,
+                weight: w,
+                edge: e,
+            };
             cursor[v as usize] += 1;
         }
         Graph::from_parts(offsets, arcs, self.edges, weighted)
@@ -157,8 +171,14 @@ mod tests {
     #[test]
     fn rejects_self_loop_zero_weight_and_duplicates() {
         let mut b = GraphBuilder::new(3);
-        assert_eq!(b.add_edge(1, 1, 1).unwrap_err(), GraphError::SelfLoop { node: 1 });
-        assert_eq!(b.add_edge(0, 1, 0).unwrap_err(), GraphError::ZeroWeight { u: 0, v: 1 });
+        assert_eq!(
+            b.add_edge(1, 1, 1).unwrap_err(),
+            GraphError::SelfLoop { node: 1 }
+        );
+        assert_eq!(
+            b.add_edge(0, 1, 0).unwrap_err(),
+            GraphError::ZeroWeight { u: 0, v: 1 }
+        );
         b.add_edge(0, 1, 2).unwrap();
         assert_eq!(
             b.add_edge(1, 0, 9).unwrap_err(),
@@ -171,7 +191,10 @@ mod tests {
         let mut b = GraphBuilder::new(4);
         b.add_edge(0, 1, 1).unwrap();
         b.add_edge(2, 3, 1).unwrap();
-        assert_eq!(b.build().unwrap_err(), GraphError::Disconnected { components: 2 });
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::Disconnected { components: 2 }
+        );
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub struct Graph {
     /// Undirected edge list `(u, v, w)` with `u < v`, indexed by [`EdgeId`].
     edges: Vec<(NodeId, NodeId, Weight)>,
     weighted: bool,
+    /// Cached maximum edge weight — the distance oracles select between BFS,
+    /// bucket-queue and heap Dijkstra by weight range on every call, so this
+    /// must not cost an `O(m)` scan each time.
+    max_weight: Weight,
 }
 
 impl Graph {
@@ -50,11 +54,13 @@ impl Graph {
         edges: Vec<(NodeId, NodeId, Weight)>,
         weighted: bool,
     ) -> Self {
+        let max_weight = edges.iter().map(|&(_, _, w)| w).max().unwrap_or(0);
         Graph {
             offsets,
             arcs,
             edges,
             weighted,
+            max_weight,
         }
     }
 
@@ -93,12 +99,16 @@ impl Graph {
         self.edges[e as usize]
     }
 
+    /// CSR offset range of `v`'s adjacency (indices into the arc array).
+    #[inline(always)]
+    pub fn arc_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize
+    }
+
     /// Adjacency slice of `v`: one [`Arc`] per incident undirected edge.
-    #[inline]
+    #[inline(always)]
     pub fn arcs(&self, v: NodeId) -> &[Arc] {
-        let lo = self.offsets[v as usize] as usize;
-        let hi = self.offsets[v as usize + 1] as usize;
-        &self.arcs[lo..hi]
+        &self.arcs[self.arc_range(v)]
     }
 
     /// Degree of `v` in the local communication graph.
@@ -127,9 +137,10 @@ impl Graph {
         self.edges.iter().map(|&(_, _, w)| w).sum()
     }
 
-    /// Maximum edge weight `W`.
+    /// Maximum edge weight `W` (cached at construction).
+    #[inline]
     pub fn max_weight(&self) -> Weight {
-        self.edges.iter().map(|&(_, _, w)| w).max().unwrap_or(0)
+        self.max_weight
     }
 
     /// Returns the subgraph induced by keeping only the edges for which

@@ -87,7 +87,10 @@ mod tests {
         let g = generators::weighted_grid(&[3, 3], 7, &mut rand::rngs::StdRng::seed_from_u64(1))
             .unwrap();
         for v in g.nodes() {
-            assert_eq!(singleton_cut(&g, v), g.arcs(v).iter().map(|a| a.weight).sum());
+            assert_eq!(
+                singleton_cut(&g, v),
+                g.arcs(v).iter().map(|a| a.weight).sum()
+            );
         }
         assert!(min_singleton_cut(&g) >= 2);
     }

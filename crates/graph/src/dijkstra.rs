@@ -1,14 +1,46 @@
-//! Weighted distance oracles: Dijkstra, hop-limited Dijkstra and exact APSP.
+//! Weighted distance oracles: Dijkstra (binary-heap and Dial bucket-queue
+//! variants), hop-limited Dijkstra and exact APSP.
 //!
 //! These are *centralized* oracles used (a) as ground truth when checking the
 //! stretch of the distributed approximation algorithms and (b) as the local
 //! computation performed inside clusters / skeleton nodes, which the HYBRID
 //! model allows for free (nodes are computationally unbounded).
+//!
+//! # Performance architecture
+//!
+//! The experiment sweeps run these oracles thousands of times per table, so
+//! the hot paths are engineered to be allocation-lean and to pick the
+//! cheapest correct algorithm for the input:
+//!
+//! * [`DijkstraWorkspace`] owns every buffer a run needs (distances, parents,
+//!   heap, bucket ring, visited bitset) and resets them *sparsely* — only the
+//!   entries touched by the previous run are cleared, so repeated
+//!   single-source calls on the same graph never reallocate and never pay
+//!   `O(n)` per call on small explored regions.
+//! * [`sssp_auto`] / [`DijkstraWorkspace::run`] select the oracle by weight
+//!   range: BFS for unweighted graphs, a Dial bucket queue (`O(m + D·W)`,
+//!   no comparison heap) for the small integer weights the generators emit
+//!   (`W ≤ `[`DIAL_MAX_WEIGHT`]), and the binary heap otherwise.  All three
+//!   produce identical distance arrays; the property tests assert this.
+//! * The heap variant keeps a **visited bitset** so settled nodes are neither
+//!   re-expanded nor re-pushed — the classic lazy-deletion heap without the
+//!   stale-entry churn.
+//! * [`apsp_exact`] / [`apsp_hops_exact`] fan the per-source runs out over
+//!   all cores (deterministic order; one workspace per worker chunk).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+use rayon::prelude::*;
 
 use crate::csr::{Graph, NodeId, Weight, INFINITY};
+
+/// Maximum edge weight for which the Dial bucket queue is selected
+/// automatically.  The ring then has at most `DIAL_MAX_WEIGHT + 1` buckets,
+/// which comfortably fits in cache; the generators' weighted families use
+/// weights in `[1, 32]`.
+pub const DIAL_MAX_WEIGHT: Weight = 64;
 
 /// Result of a single-source Dijkstra run.
 #[derive(Debug, Clone)]
@@ -37,84 +69,441 @@ impl DijkstraResult {
     }
 }
 
-/// Single-source Dijkstra from `source` over the edge weights of `graph`.
-pub fn dijkstra(graph: &Graph, source: NodeId) -> DijkstraResult {
-    let n = graph.n();
-    let mut dist = vec![INFINITY; n];
-    let mut parent = vec![None; n];
-    let mut heap: BinaryHeap<Reverse<(Weight, NodeId)>> = BinaryHeap::new();
-    dist[source as usize] = 0;
-    heap.push(Reverse((0, source)));
-    while let Some(Reverse((d, v))) = heap.pop() {
-        if d > dist[v as usize] {
-            continue;
+/// Which single-source oracle a run used (or should use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SsspAlgorithm {
+    /// Breadth-first search — unweighted graphs.
+    Bfs,
+    /// Dial bucket-queue Dijkstra — small integer weights.
+    Dial,
+    /// Binary-heap Dijkstra — arbitrary weights.
+    Heap,
+}
+
+/// Selects the cheapest correct oracle for `graph` by weight range and
+/// density.
+///
+/// * unweighted → BFS;
+/// * small integer weights (`W ≤ `[`DIAL_MAX_WEIGHT`]) → Dial;
+/// * larger weights → Dial only when the worst-case bucket ring scan is
+///   provably dominated by the heap's work: the ring scan costs `O(max
+///   distance) ⊆ O(W·(n−1))`, the heap costs `Ω(m·log n)`, so Dial is chosen
+///   iff `W·(n−1) ≤ 4·m·⌈log₂ n⌉`.  This admits the near-complete skeleton
+///   graphs of the k-SSP scheduling framework (huge `m`, tiny hop diameter)
+///   while sending sparse large-weight graphs — whose true max distance can
+///   genuinely approach `W·n` — to the heap;
+/// * otherwise → binary heap.
+///
+/// The choice is a pure function of the graph, so repeated runs — and runs
+/// split across worker threads — always agree.
+#[inline]
+pub fn select_sssp_algorithm(graph: &Graph) -> SsspAlgorithm {
+    if !graph.is_weighted() {
+        return SsspAlgorithm::Bfs;
+    }
+    let w = graph.max_weight();
+    if w <= DIAL_MAX_WEIGHT {
+        return SsspAlgorithm::Dial;
+    }
+    let scan_bound = w.saturating_mul(graph.n().saturating_sub(1) as Weight);
+    let heap_bound = (graph.m() as Weight).saturating_mul(4 * graph.log2_n() as Weight);
+    if scan_bound <= heap_bound {
+        SsspAlgorithm::Dial
+    } else {
+        SsspAlgorithm::Heap
+    }
+}
+
+/// Reusable buffers for repeated single-source runs.
+///
+/// All oracles ([`SsspAlgorithm`]) share the `dist` / `parent` / visited
+/// buffers; the heap and bucket ring are lazily grown.  After a run the
+/// workspace resets itself sparsely using the list of touched nodes, so a
+/// sequence of runs on the same graph performs no allocation after the first.
+#[derive(Debug, Default)]
+pub struct DijkstraWorkspace {
+    /// Node count of the most recent run (buffers may be larger).
+    len: usize,
+    dist: Vec<Weight>,
+    parent: Vec<Option<NodeId>>,
+    /// One bit per node: settled during the current run.
+    visited: Vec<u64>,
+    /// Nodes whose `dist`/`parent`/`visited` entries need resetting.
+    touched: Vec<NodeId>,
+    heap: BinaryHeap<Reverse<(Weight, NodeId)>>,
+    /// Dial ring: `buckets[d % ring]` holds nodes with tentative distance `d`.
+    buckets: Vec<Vec<NodeId>>,
+    queue: VecDeque<NodeId>,
+}
+
+impl DijkstraWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a workspace pre-sized for graphs of `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut ws = Self::new();
+        ws.grow(n);
+        ws
+    }
+
+    /// Distances computed by the most recent run.
+    #[inline]
+    pub fn dist(&self) -> &[Weight] {
+        &self.dist[..self.len]
+    }
+
+    /// Parents computed by the most recent run.
+    #[inline]
+    pub fn parent(&self) -> &[Option<NodeId>] {
+        &self.parent[..self.len]
+    }
+
+    /// Nodes reached by the most recent run, in discovery order (the source
+    /// first).  For BFS runs this is the settle order.
+    #[inline]
+    pub fn reached(&self) -> &[NodeId] {
+        &self.touched
+    }
+
+    /// Copies the most recent run out into an owned [`DijkstraResult`].
+    pub fn to_result(&self) -> DijkstraResult {
+        DijkstraResult {
+            dist: self.dist().to_vec(),
+            parent: self.parent().to_vec(),
         }
-        for a in graph.arcs(v) {
-            let nd = d + a.weight;
-            if nd < dist[a.to as usize] {
-                dist[a.to as usize] = nd;
-                parent[a.to as usize] = Some(v);
-                heap.push(Reverse((nd, a.to)));
+    }
+
+    fn grow(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, INFINITY);
+            self.parent.resize(n, None);
+            self.visited.resize(n.div_ceil(64), 0);
+        }
+    }
+
+    /// Sparse-resets the entries touched by the previous run and prepares for
+    /// a run on a graph with `n` nodes.
+    fn reset(&mut self, n: usize) {
+        self.grow(n);
+        self.len = n;
+        for &v in &self.touched {
+            self.dist[v as usize] = INFINITY;
+            self.parent[v as usize] = None;
+            self.visited[v as usize / 64] &= !(1u64 << (v % 64));
+        }
+        self.touched.clear();
+        self.heap.clear();
+        self.queue.clear();
+        // Buckets are fully drained by the Dial loop itself.
+    }
+
+    #[inline]
+    fn is_visited(&self, v: NodeId) -> bool {
+        self.visited[v as usize / 64] >> (v % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn mark_visited(&mut self, v: NodeId) {
+        self.visited[v as usize / 64] |= 1u64 << (v % 64);
+    }
+
+    /// Runs the oracle chosen by [`select_sssp_algorithm`]; afterwards
+    /// [`Self::dist`] / [`Self::parent`] hold the result.
+    pub fn run(&mut self, graph: &Graph, source: NodeId) {
+        match select_sssp_algorithm(graph) {
+            SsspAlgorithm::Bfs => self.run_bfs(graph, source),
+            SsspAlgorithm::Dial => self.run_dial(graph, source),
+            SsspAlgorithm::Heap => self.run_heap(graph, source),
+        }
+    }
+
+    /// BFS oracle (unweighted graphs: hop distance = weighted distance).
+    pub fn run_bfs(&mut self, graph: &Graph, source: NodeId) {
+        self.reset(graph.n());
+        self.dist[source as usize] = 0;
+        self.touched.push(source);
+        self.queue.push_back(source);
+        while let Some(v) = self.queue.pop_front() {
+            let dv = self.dist[v as usize];
+            for a in graph.arcs(v) {
+                let u = a.to as usize;
+                if self.dist[u] == INFINITY {
+                    self.dist[u] = dv + 1;
+                    self.parent[u] = Some(v);
+                    self.touched.push(a.to);
+                    self.queue.push_back(a.to);
+                }
             }
         }
     }
-    DijkstraResult { dist, parent }
+
+    /// Depth-bounded BFS oracle: hop distances within `max_depth`, `INFINITY`
+    /// beyond.
+    pub fn run_bfs_bounded(&mut self, graph: &Graph, source: NodeId, max_depth: u64) {
+        self.reset(graph.n());
+        self.dist[source as usize] = 0;
+        self.touched.push(source);
+        self.queue.push_back(source);
+        while let Some(v) = self.queue.pop_front() {
+            let dv = self.dist[v as usize];
+            if dv >= max_depth {
+                continue;
+            }
+            for a in graph.arcs(v) {
+                let u = a.to as usize;
+                if self.dist[u] == INFINITY {
+                    self.dist[u] = dv + 1;
+                    self.parent[u] = Some(v);
+                    self.touched.push(a.to);
+                    self.queue.push_back(a.to);
+                }
+            }
+        }
+    }
+
+    /// Binary-heap Dijkstra with a visited bitset: settled nodes are skipped
+    /// on pop *and* never re-pushed, eliminating stale-entry churn.
+    pub fn run_heap(&mut self, graph: &Graph, source: NodeId) {
+        self.reset(graph.n());
+        self.dist[source as usize] = 0;
+        self.touched.push(source);
+        self.heap.push(Reverse((0, source)));
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            if self.is_visited(v) {
+                continue;
+            }
+            self.mark_visited(v);
+            for a in graph.arcs(v) {
+                if self.is_visited(a.to) {
+                    continue;
+                }
+                let nd = d + a.weight;
+                if nd < self.dist[a.to as usize] {
+                    if self.dist[a.to as usize] == INFINITY {
+                        self.touched.push(a.to);
+                    }
+                    self.dist[a.to as usize] = nd;
+                    self.parent[a.to as usize] = Some(v);
+                    self.heap.push(Reverse((nd, a.to)));
+                }
+            }
+        }
+    }
+
+    /// Dial bucket-queue Dijkstra for integer weights `1..=c`: a circular
+    /// array of `c + 1` buckets replaces the comparison heap, so each
+    /// settle/relax is O(1).
+    pub fn run_dial(&mut self, graph: &Graph, source: NodeId) {
+        self.reset(graph.n());
+        let c = graph.max_weight().max(1) as usize;
+        // Power-of-two ring ≥ c+1 so the slot index is a mask instead of a
+        // hardware division in the relaxation loop.
+        let ring = (c + 1).next_power_of_two();
+        let mask = ring - 1;
+        if self.buckets.len() < ring {
+            self.buckets.resize_with(ring, Vec::new);
+        }
+        self.dist[source as usize] = 0;
+        self.touched.push(source);
+        self.buckets[0].push(source);
+        let mut pending = 1usize;
+        let mut cur: Weight = 0;
+        while pending > 0 {
+            let slot = (cur as usize) & mask;
+            // Settle every node whose tentative distance equals `cur`.
+            while let Some(v) = self.buckets[slot].pop() {
+                pending -= 1;
+                if self.is_visited(v) || self.dist[v as usize] != cur {
+                    continue; // stale entry superseded by a better relaxation
+                }
+                self.mark_visited(v);
+                for a in graph.arcs(v) {
+                    if self.is_visited(a.to) {
+                        continue;
+                    }
+                    let nd = cur + a.weight;
+                    if nd < self.dist[a.to as usize] {
+                        if self.dist[a.to as usize] == INFINITY {
+                            self.touched.push(a.to);
+                        }
+                        self.dist[a.to as usize] = nd;
+                        self.parent[a.to as usize] = Some(v);
+                        self.buckets[(nd as usize) & mask].push(a.to);
+                        pending += 1;
+                    }
+                }
+            }
+            cur += 1;
+        }
+    }
+}
+
+/// Single-source Dijkstra from `source` over the edge weights of `graph`.
+///
+/// Convenience wrapper allocating a fresh [`DijkstraWorkspace`]; hot loops
+/// should hold a workspace and call [`DijkstraWorkspace::run`] instead.
+pub fn dijkstra(graph: &Graph, source: NodeId) -> DijkstraResult {
+    let mut ws = DijkstraWorkspace::with_capacity(graph.n());
+    ws.run(graph, source);
+    DijkstraResult {
+        dist: ws.dist,
+        parent: ws.parent,
+    }
+}
+
+/// Binary-heap Dijkstra (reference oracle; allocates).
+pub fn dijkstra_heap(graph: &Graph, source: NodeId) -> DijkstraResult {
+    let mut ws = DijkstraWorkspace::with_capacity(graph.n());
+    ws.run_heap(graph, source);
+    DijkstraResult {
+        dist: ws.dist,
+        parent: ws.parent,
+    }
+}
+
+/// Dial bucket-queue Dijkstra (allocates; for arbitrary use prefer
+/// [`DijkstraWorkspace::run`] which also checks the weight range).
+pub fn dijkstra_dial(graph: &Graph, source: NodeId) -> DijkstraResult {
+    let mut ws = DijkstraWorkspace::with_capacity(graph.n());
+    ws.run_dial(graph, source);
+    DijkstraResult {
+        dist: ws.dist,
+        parent: ws.parent,
+    }
+}
+
+/// Single-source distances with automatic oracle selection (BFS / Dial /
+/// heap).  Returns only the distance array.
+pub fn sssp_auto(graph: &Graph, source: NodeId) -> Vec<Weight> {
+    let mut ws = DijkstraWorkspace::with_capacity(graph.n());
+    ws.run(graph, source);
+    ws.dist
+}
+
+/// Reusable buffers for [`hop_limited_distances_with`].
+#[derive(Debug, Default)]
+pub struct HopLimitedWorkspace {
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+    /// Round stamp per node: `stamp[v] == round` iff `v` already has a
+    /// candidate improvement recorded this round.
+    stamp: Vec<u32>,
+    cand: Vec<Weight>,
+}
+
+impl HopLimitedWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// `h`-hop-limited distances `d^h(source, ·)` (Definition in Section 1.2 and
 /// Definition 6.2 of the paper): the weight of a shortest path among paths
 /// with at most `h` edges; `INFINITY` if no such path exists.
 ///
-/// Implemented as `h` rounds of Bellman–Ford relaxation, which is exactly the
-/// computation a node can perform after `h` rounds of local flooding.
+/// Implemented as `h` rounds of frontier Bellman–Ford relaxation, which is
+/// exactly the computation a node can perform after `h` rounds of local
+/// flooding.
 pub fn hop_limited_distances(graph: &Graph, source: NodeId, h: usize) -> Vec<Weight> {
+    let mut ws = HopLimitedWorkspace::new();
+    let mut dist = vec![INFINITY; graph.n()];
+    hop_limited_distances_with(&mut ws, graph, source, h, &mut dist);
+    dist
+}
+
+/// Allocation-lean hop-limited distances: writes into `dist` (fully
+/// overwritten) and reuses the workspace's frontier/candidate buffers.
+///
+/// The synchronous Bellman–Ford semantics of the naive two-array
+/// implementation are preserved exactly — relaxations within a round read the
+/// distances from the *start* of the round — but instead of cloning the
+/// distance array every round, improvements are buffered per round in a
+/// candidate array gated by a round stamp and applied at the round boundary:
+/// `O(frontier)` work per round instead of `O(n)`.
+pub fn hop_limited_distances_with(
+    ws: &mut HopLimitedWorkspace,
+    graph: &Graph,
+    source: NodeId,
+    h: usize,
+    dist: &mut Vec<Weight>,
+) {
     let n = graph.n();
-    let mut dist = vec![INFINITY; n];
+    dist.clear();
+    dist.resize(n, INFINITY);
+    if ws.stamp.len() < n {
+        ws.stamp.resize(n, u32::MAX);
+        ws.cand.resize(n, INFINITY);
+    }
+    // A fresh stamp space per call: u32::MAX sentinel means "never".
+    for s in ws.stamp.iter_mut() {
+        *s = u32::MAX;
+    }
     dist[source as usize] = 0;
-    let mut frontier: Vec<NodeId> = vec![source];
-    for _ in 0..h {
-        let mut next_frontier: Vec<NodeId> = Vec::new();
-        let mut updated = vec![false; n];
-        let mut new_dist = dist.clone();
-        for &v in &frontier {
+    ws.frontier.clear();
+    ws.next.clear();
+    ws.frontier.push(source);
+    // Bellman–Ford converges within n-1 rounds; clamping keeps the round
+    // stamps in u32 territory without changing any distance.
+    let rounds = h.min(n.saturating_sub(1)) as u32;
+    for round in 0..rounds {
+        ws.next.clear();
+        for fi in 0..ws.frontier.len() {
+            let v = ws.frontier[fi];
             let dv = dist[v as usize];
             if dv == INFINITY {
                 continue;
             }
             for a in graph.arcs(v) {
+                let u = a.to as usize;
                 let nd = dv + a.weight;
-                if nd < new_dist[a.to as usize] {
-                    new_dist[a.to as usize] = nd;
-                    if !updated[a.to as usize] {
-                        updated[a.to as usize] = true;
-                        next_frontier.push(a.to);
+                // Compare against the round-start distance (synchronous
+                // semantics); candidates accumulate the round minimum.
+                if nd < dist[u] {
+                    if ws.stamp[u] != round {
+                        ws.stamp[u] = round;
+                        ws.cand[u] = nd;
+                        ws.next.push(a.to);
+                    } else if nd < ws.cand[u] {
+                        ws.cand[u] = nd;
                     }
                 }
             }
         }
-        if next_frontier.is_empty() {
-            dist = new_dist;
+        if ws.next.is_empty() {
             break;
         }
-        dist = new_dist;
-        // Nodes improved this round must be re-relaxed next round, together
-        // with nothing else: a standard frontier Bellman-Ford.
-        frontier = next_frontier;
+        for &u in &ws.next {
+            dist[u as usize] = ws.cand[u as usize];
+        }
+        std::mem::swap(&mut ws.frontier, &mut ws.next);
     }
-    dist
 }
 
-/// Exact weighted all-pairs shortest paths (one Dijkstra per node).
+/// Exact weighted all-pairs shortest paths (one single-source run per node,
+/// fanned out over all cores with automatic oracle selection).
 /// Quadratic memory — intended for ground-truth checks on small graphs.
 pub fn apsp_exact(graph: &Graph) -> Vec<Vec<Weight>> {
-    graph.nodes().map(|v| dijkstra(graph, v).dist).collect()
+    (0..graph.n() as NodeId)
+        .into_par_iter()
+        .map_init(DijkstraWorkspace::new, |ws, v| {
+            ws.run(graph, v);
+            ws.dist().to_vec()
+        })
+        .collect()
 }
 
-/// Exact unweighted (hop) all-pairs shortest paths.
+/// Exact unweighted (hop) all-pairs shortest paths (parallel BFS fan-out).
 pub fn apsp_hops_exact(graph: &Graph) -> Vec<Vec<Weight>> {
-    graph
-        .nodes()
-        .map(|v| crate::traversal::bfs(graph, v).dist)
+    (0..graph.n() as NodeId)
+        .into_par_iter()
+        .map_init(DijkstraWorkspace::new, |ws, v| {
+            ws.run_bfs(graph, v);
+            ws.dist().to_vec()
+        })
         .collect()
 }
 
@@ -144,6 +533,47 @@ mod tests {
     }
 
     #[test]
+    fn heap_dial_and_auto_agree() {
+        let g = weighted_diamond();
+        let heap = dijkstra_heap(&g, 0);
+        let dial = dijkstra_dial(&g, 0);
+        assert_eq!(heap.dist, dial.dist);
+        assert_eq!(heap.dist, sssp_auto(&g, 0));
+        assert_eq!(select_sssp_algorithm(&g), SsspAlgorithm::Dial);
+    }
+
+    #[test]
+    fn oracle_selection_by_weight_range() {
+        let unweighted = generators::path(5).unwrap();
+        assert_eq!(select_sssp_algorithm(&unweighted), SsspAlgorithm::Bfs);
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, DIAL_MAX_WEIGHT + 1).unwrap();
+        b.add_edge(1, 2, 1).unwrap();
+        let heavy = b.build().unwrap();
+        assert_eq!(select_sssp_algorithm(&heavy), SsspAlgorithm::Heap);
+        let heap = dijkstra_heap(&heavy, 0).dist;
+        assert_eq!(heap, sssp_auto(&heavy, 0));
+        assert_eq!(heap, dijkstra_dial(&heavy, 0).dist);
+    }
+
+    #[test]
+    fn workspace_reuse_across_sources_and_graphs() {
+        let g = weighted_diamond();
+        let mut ws = DijkstraWorkspace::new();
+        for s in 0..4u32 {
+            ws.run(&g, s);
+            assert_eq!(ws.dist(), dijkstra_heap(&g, s).dist.as_slice());
+        }
+        // Switch to a different, larger graph with the same workspace.
+        let p = generators::path(9).unwrap();
+        ws.run(&p, 3);
+        assert_eq!(ws.dist(), crate::traversal::bfs(&p, 3).dist.as_slice());
+        // And back to the small one.
+        ws.run(&g, 1);
+        assert_eq!(ws.dist(), dijkstra_heap(&g, 1).dist.as_slice());
+    }
+
+    #[test]
     fn hop_limited_matches_definition() {
         let g = weighted_diamond();
         // With at most 1 hop, node 3 is unreachable from 0; node 2 costs 5.
@@ -169,12 +599,27 @@ mod tests {
     }
 
     #[test]
+    fn hop_limited_workspace_reuse_is_clean() {
+        let g = weighted_diamond();
+        let mut ws = HopLimitedWorkspace::new();
+        let mut dist = Vec::new();
+        hop_limited_distances_with(&mut ws, &g, 0, 1, &mut dist);
+        assert_eq!(dist, hop_limited_distances(&g, 0, 1));
+        hop_limited_distances_with(&mut ws, &g, 3, 2, &mut dist);
+        assert_eq!(dist, hop_limited_distances(&g, 3, 2));
+        let p = generators::path(7).unwrap();
+        hop_limited_distances_with(&mut ws, &p, 0, 4, &mut dist);
+        assert_eq!(dist, hop_limited_distances(&p, 0, 4));
+    }
+
+    #[test]
     fn dijkstra_equals_bfs_on_unweighted() {
         let g = generators::grid(&[5, 4]).unwrap();
         for s in [0u32, 7, 19] {
             let d = dijkstra(&g, s).dist;
             let b = crate::traversal::bfs(&g, s).dist;
             assert_eq!(d, b);
+            assert_eq!(dijkstra_heap(&g, s).dist, b);
         }
     }
 

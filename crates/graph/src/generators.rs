@@ -83,7 +83,7 @@ pub fn torus(dims: &[usize]) -> Result<Graph> {
 }
 
 fn lattice(dims: &[usize], wrap: bool) -> Result<Graph> {
-    if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+    if dims.is_empty() || dims.contains(&0) {
         return Err(GraphError::InvalidParameter {
             reason: "grid dimensions must be non-empty and positive".into(),
         });
@@ -98,9 +98,8 @@ fn lattice(dims: &[usize], wrap: bool) -> Result<Graph> {
     for i in 1..dims.len() {
         strides[i] = strides[i - 1] * dims[i - 1];
     }
-    let index = |coords: &[usize]| -> usize {
-        coords.iter().zip(&strides).map(|(c, s)| c * s).sum()
-    };
+    let index =
+        |coords: &[usize]| -> usize { coords.iter().zip(&strides).map(|(c, s)| c * s).sum() };
     let mut b = GraphBuilder::new(n);
     let mut coords = vec![0usize; dims.len()];
     for flat in 0..n {
@@ -238,7 +237,9 @@ pub fn random_geometric(n: usize, radius: f64, rng: &mut impl Rng) -> Result<Gra
             reason: "radius must be positive".into(),
         });
     }
-    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let mut b = GraphBuilder::new(n);
     let r2 = radius * radius;
     for u in 0..n {
@@ -270,7 +271,7 @@ pub fn random_geometric(n: usize, radius: f64, rng: &mut impl Rng) -> Result<Gra
                 let dx = points[u].0 - points[v].0;
                 let dy = points[u].1 - points[v].1;
                 let d2 = dx * dx + dy * dy;
-                if best.map_or(true, |(bd, _, _)| d2 < bd) {
+                if best.is_none_or(|(bd, _, _)| d2 < bd) {
                     best = Some((d2, u, v));
                 }
             }

@@ -5,7 +5,10 @@
 //! every global problem is trivially solvable in `D` rounds using only the
 //! local network.
 
+use rayon::prelude::*;
+
 use crate::csr::{Graph, NodeId, Weight};
+use crate::dijkstra::DijkstraWorkspace;
 use crate::traversal::bfs;
 
 /// Hop eccentricity of `v`: `max_w hop(v, w)`.
@@ -13,14 +16,31 @@ pub fn eccentricity(graph: &Graph, v: NodeId) -> Weight {
     bfs(graph, v).eccentricity()
 }
 
+/// Hop eccentricities of every node (`n` BFS traversals, fanned out over all
+/// cores with one reusable workspace per worker).
+pub fn eccentricities(graph: &Graph) -> Vec<Weight> {
+    (0..graph.n() as NodeId)
+        .into_par_iter()
+        .map_init(DijkstraWorkspace::new, |ws, v| {
+            ws.run_bfs(graph, v);
+            // Every reached node has a finite distance; BFS settles in
+            // non-decreasing order, so the last reached node is farthest.
+            ws.reached()
+                .last()
+                .map(|&u| ws.dist()[u as usize])
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
 /// Exact hop diameter `D = max_{v,w} hop(v, w)` (runs `n` BFS traversals).
 pub fn diameter(graph: &Graph) -> Weight {
-    graph.nodes().map(|v| eccentricity(graph, v)).max().unwrap_or(0)
+    eccentricities(graph).into_iter().max().unwrap_or(0)
 }
 
 /// Exact hop radius `min_v max_w hop(v, w)`.
 pub fn radius(graph: &Graph) -> Weight {
-    graph.nodes().map(|v| eccentricity(graph, v)).min().unwrap_or(0)
+    eccentricities(graph).into_iter().min().unwrap_or(0)
 }
 
 /// A fast 2-approximation of the diameter from a double BFS sweep:

@@ -77,7 +77,11 @@ pub fn bfs_bounded(graph: &Graph, source: NodeId, max_depth: u64) -> BfsResult {
             }
         }
     }
-    BfsResult { dist, parent, order }
+    BfsResult {
+        dist,
+        parent,
+        order,
+    }
 }
 
 /// Multi-source BFS: hop distance from the *closest* source, plus which

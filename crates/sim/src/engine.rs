@@ -13,6 +13,19 @@
 //!    and counted, so tests can assert that well-designed algorithms never
 //!    exceed the bound.
 //!
+//! # Mailbox engine
+//!
+//! Delivery is backed by **double-buffered, index-sorted flat arenas**
+//! ([`Arena`]): while a round runs, outgoing messages accumulate in a single
+//! flat staging vector tagged `(destination, sequence)`; at the round
+//! boundary the staging vector is sorted by that key (unstable sort — the
+//! sequence number makes the key unique, so the order is deterministic and
+//! identical to the old stable per-node queues) and drained into the arena,
+//! whose per-destination offsets turn next round's inbox delivery into pure
+//! slice slicing.  No per-node `Vec` is rebuilt and no message is cloned
+//! anywhere in the cycle; all buffers are reused round over round, so a
+//! steady-state round allocates nothing.
+//!
 //! This engine is used for the simpler primitives (flooding, BFS, token
 //! gossip) and to validate the phase engine against a fully explicit
 //! execution; the heavy universal algorithms use the phase engine in
@@ -29,8 +42,8 @@ pub struct NodeCtx<'a, M> {
     neighbors: &'a [NodeId],
     local_inbox: &'a [(NodeId, M)],
     global_inbox: &'a [(NodeId, M)],
-    local_outbox: Vec<(NodeId, M)>,
-    global_outbox: Vec<(NodeId, M)>,
+    local_outbox: &'a mut Vec<(NodeId, M)>,
+    global_outbox: &'a mut Vec<(NodeId, M)>,
     gamma: usize,
     global_send_overflow: u64,
 }
@@ -131,6 +144,77 @@ pub struct RunReport {
     pub completed: bool,
 }
 
+/// One staged message: `(destination, sequence, sender, payload)`.  The
+/// sequence number is the global arrival index within the round, making the
+/// `(destination, sequence)` sort key unique — an unstable sort therefore
+/// yields exactly the stable per-destination sender order the engine's
+/// semantics promise.
+type Staged<M> = (NodeId, u32, NodeId, M);
+
+/// An index-sorted flat mailbox arena: all messages of a round, grouped by
+/// destination, plus per-destination offsets.  Buffers persist across rounds.
+struct Arena<M> {
+    data: Vec<(NodeId, M)>,
+    offsets: Vec<u32>,
+}
+
+impl<M> Arena<M> {
+    fn new(n: usize) -> Self {
+        Arena {
+            data: Vec::new(),
+            offsets: vec![0; n + 1],
+        }
+    }
+
+    /// Inbox slice of node `v`.
+    #[inline]
+    fn inbox(&self, v: usize) -> &[(NodeId, M)] {
+        &self.data[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Sorts `stage` by `(destination, sequence)` and drains it into the
+    /// arena.  With `receive_cap = Some(γ)`, only the first `γ` messages per
+    /// destination (in sender order) are delivered; the rest are counted as
+    /// dropped.  Returns `(delivered, dropped)`.
+    fn fill_from(&mut self, stage: &mut Vec<Staged<M>>, receive_cap: Option<usize>) -> (u64, u64) {
+        let n = self.offsets.len() - 1;
+        stage.sort_unstable_by_key(|&(to, seq, _, _)| (to, seq));
+        self.data.clear();
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        let mut cur_dest = 0usize;
+        let mut in_dest = 0usize;
+        self.offsets[0] = 0;
+        for (to, _, from, msg) in stage.drain(..) {
+            let to = to as usize;
+            // Fail fast on out-of-range destinations (the pre-arena engine
+            // panicked at routing time; keep that program-bug diagnosis
+            // instead of silently losing the message).
+            assert!(
+                to < n,
+                "message addressed to out-of-range node {to} (n = {n})"
+            );
+            while cur_dest < to {
+                self.offsets[cur_dest + 1] = self.data.len() as u32;
+                cur_dest += 1;
+                in_dest = 0;
+            }
+            if receive_cap.is_some_and(|cap| in_dest >= cap) {
+                dropped += 1;
+            } else {
+                self.data.push((from, msg));
+                in_dest += 1;
+                delivered += 1;
+            }
+        }
+        while cur_dest < n {
+            self.offsets[cur_dest + 1] = self.data.len() as u32;
+            cur_dest += 1;
+        }
+        (delivered, dropped)
+    }
+}
+
 /// Synchronous executor running one [`NodeProgram`] per node.
 pub struct Executor<'g, P: NodeProgram> {
     graph: &'g Graph,
@@ -145,8 +229,10 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
     pub fn new(graph: &'g Graph, params: ModelParams, factory: impl FnMut(NodeId) -> P) -> Self {
         assert_eq!(params.n, graph.n());
         let programs: Vec<P> = graph.nodes().map(factory).collect();
-        let neighbor_lists: Vec<Vec<NodeId>> =
-            graph.nodes().map(|v| graph.neighbors(v).collect()).collect();
+        let neighbor_lists: Vec<Vec<NodeId>> = graph
+            .nodes()
+            .map(|v| graph.neighbors(v).collect())
+            .collect();
         Executor {
             graph,
             params,
@@ -167,17 +253,21 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
 
     /// Runs until `stop(programs)` holds (checked after every round) or
     /// `max_rounds` is reached.
-    pub fn run_until(
-        &mut self,
-        max_rounds: u64,
-        stop: impl Fn(&[P]) -> bool,
-    ) -> RunReport {
+    pub fn run_until(&mut self, max_rounds: u64, stop: impl Fn(&[P]) -> bool) -> RunReport {
         let n = self.graph.n();
         let gamma = self.params.global_capacity_msgs;
         let local_enabled = self.params.has_local();
 
-        let mut local_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
-        let mut global_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        // Double-buffered flat mailboxes: the arenas hold the messages being
+        // *read* this round, the staging vectors collect the messages being
+        // *written*; `fill_from` turns staging into next round's arenas.
+        let mut local_arena: Arena<P::Msg> = Arena::new(n);
+        let mut global_arena: Arena<P::Msg> = Arena::new(n);
+        let mut local_stage: Vec<Staged<P::Msg>> = Vec::new();
+        let mut global_stage: Vec<Staged<P::Msg>> = Vec::new();
+        // Per-node outboxes, drained into staging after every node and reused.
+        let mut local_out: Vec<(NodeId, P::Msg)> = Vec::new();
+        let mut global_out: Vec<(NodeId, P::Msg)> = Vec::new();
 
         let mut report = RunReport {
             rounds: 0,
@@ -189,35 +279,33 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
         };
 
         // Init pass (round 0): no inboxes yet.
-        let mut next_local: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
-        let mut next_global: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
-        let mut next_global_counts: Vec<usize> = vec![0; n];
         for v in 0..n {
             let mut ctx = NodeCtx {
                 node: v as NodeId,
                 neighbors: &self.neighbor_lists[v],
                 local_inbox: &[],
                 global_inbox: &[],
-                local_outbox: Vec::new(),
-                global_outbox: Vec::new(),
+                local_outbox: &mut local_out,
+                global_outbox: &mut global_out,
                 gamma,
                 global_send_overflow: 0,
             };
             self.programs[v].init(&mut ctx);
             report.refused_sends += ctx.global_send_overflow;
-            Self::route(
+            Self::stage_outboxes(
                 v as NodeId,
-                ctx,
                 local_enabled,
-                gamma,
-                &mut next_local,
-                &mut next_global,
-                &mut next_global_counts,
-                &mut report,
+                &mut local_out,
+                &mut global_out,
+                &mut local_stage,
+                &mut global_stage,
             );
         }
-        std::mem::swap(&mut local_inboxes, &mut next_local);
-        std::mem::swap(&mut global_inboxes, &mut next_global);
+        let (delivered, _) = local_arena.fill_from(&mut local_stage, None);
+        report.local_messages += delivered;
+        let (delivered, dropped) = global_arena.fill_from(&mut global_stage, Some(gamma));
+        report.global_messages += delivered;
+        report.dropped_global += dropped;
 
         if stop(&self.programs) {
             report.completed = true;
@@ -226,35 +314,33 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
 
         for round in 1..=max_rounds {
             report.rounds = round;
-            let mut out_local: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
-            let mut out_global: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
-            let mut out_global_counts: Vec<usize> = vec![0; n];
             for v in 0..n {
                 let mut ctx = NodeCtx {
                     node: v as NodeId,
                     neighbors: &self.neighbor_lists[v],
-                    local_inbox: &local_inboxes[v],
-                    global_inbox: &global_inboxes[v],
-                    local_outbox: Vec::new(),
-                    global_outbox: Vec::new(),
+                    local_inbox: local_arena.inbox(v),
+                    global_inbox: global_arena.inbox(v),
+                    local_outbox: &mut local_out,
+                    global_outbox: &mut global_out,
                     gamma,
                     global_send_overflow: 0,
                 };
                 self.programs[v].on_round(&mut ctx, round);
                 report.refused_sends += ctx.global_send_overflow;
-                Self::route(
+                Self::stage_outboxes(
                     v as NodeId,
-                    ctx,
                     local_enabled,
-                    gamma,
-                    &mut out_local,
-                    &mut out_global,
-                    &mut out_global_counts,
-                    &mut report,
+                    &mut local_out,
+                    &mut global_out,
+                    &mut local_stage,
+                    &mut global_stage,
                 );
             }
-            local_inboxes = out_local;
-            global_inboxes = out_global;
+            let (delivered, _) = local_arena.fill_from(&mut local_stage, None);
+            report.local_messages += delivered;
+            let (delivered, dropped) = global_arena.fill_from(&mut global_stage, Some(gamma));
+            report.global_messages += delivered;
+            report.dropped_global += dropped;
 
             if stop(&self.programs) {
                 report.completed = true;
@@ -264,36 +350,28 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
         report
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn route(
-        _from: NodeId,
-        ctx: NodeCtx<'_, P::Msg>,
+    /// Drains a node's outboxes into the round staging buffers.
+    fn stage_outboxes(
+        sender: NodeId,
         local_enabled: bool,
-        gamma: usize,
-        out_local: &mut [Vec<(NodeId, P::Msg)>],
-        out_global: &mut [Vec<(NodeId, P::Msg)>],
-        out_global_counts: &mut [usize],
-        report: &mut RunReport,
+        local_out: &mut Vec<(NodeId, P::Msg)>,
+        global_out: &mut Vec<(NodeId, P::Msg)>,
+        local_stage: &mut Vec<Staged<P::Msg>>,
+        global_stage: &mut Vec<Staged<P::Msg>>,
     ) {
-        let sender = ctx.node;
-        if !ctx.local_outbox.is_empty() {
+        if !local_out.is_empty() {
             assert!(
                 local_enabled,
                 "node {sender} sent local messages but the model has no local mode"
             );
         }
-        for (to, msg) in ctx.local_outbox {
-            out_local[to as usize].push((sender, msg));
-            report.local_messages += 1;
+        for (to, msg) in local_out.drain(..) {
+            let seq = local_stage.len() as u32;
+            local_stage.push((to, seq, sender, msg));
         }
-        for (to, msg) in ctx.global_outbox {
-            if out_global_counts[to as usize] < gamma {
-                out_global_counts[to as usize] += 1;
-                out_global[to as usize].push((sender, msg));
-                report.global_messages += 1;
-            } else {
-                report.dropped_global += 1;
-            }
+        for (to, msg) in global_out.drain(..) {
+            let seq = global_stage.len() as u32;
+            global_stage.push((to, seq, sender, msg));
         }
     }
 }
@@ -442,5 +520,238 @@ mod tests {
         let g = generators::path(10).unwrap();
         let mut exec = Executor::new(&g, ModelParams::hybrid(10), |_| Bad);
         exec.run_until(1, |_| false);
+    }
+
+    /// Reference executor reproducing the pre-arena ("seed") mailbox
+    /// semantics literally: per-node `Vec` inboxes rebuilt every round,
+    /// senders routed in node order, receive cap applied in arrival order.
+    /// The regression tests below prove the arena engine delivers the exact
+    /// same per-round messages.
+    fn run_reference<P: NodeProgram>(
+        graph: &Graph,
+        params: ModelParams,
+        mut factory: impl FnMut(NodeId) -> P,
+        max_rounds: u64,
+    ) -> (Vec<P>, RunReport) {
+        let n = graph.n();
+        let gamma = params.global_capacity_msgs;
+        let local_enabled = params.has_local();
+        let mut programs: Vec<P> = graph.nodes().map(&mut factory).collect();
+        let neighbor_lists: Vec<Vec<NodeId>> = graph
+            .nodes()
+            .map(|v| graph.neighbors(v).collect())
+            .collect();
+
+        let mut report = RunReport {
+            rounds: 0,
+            local_messages: 0,
+            global_messages: 0,
+            dropped_global: 0,
+            refused_sends: 0,
+            completed: false,
+        };
+        let mut local_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+        let mut global_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+
+        let route = |sender: NodeId,
+                     local_outbox: Vec<(NodeId, P::Msg)>,
+                     global_outbox: Vec<(NodeId, P::Msg)>,
+                     out_local: &mut Vec<Vec<(NodeId, P::Msg)>>,
+                     out_global: &mut Vec<Vec<(NodeId, P::Msg)>>,
+                     out_counts: &mut Vec<usize>,
+                     report: &mut RunReport| {
+            assert!(local_outbox.is_empty() || local_enabled);
+            for (to, msg) in local_outbox {
+                out_local[to as usize].push((sender, msg));
+                report.local_messages += 1;
+            }
+            for (to, msg) in global_outbox {
+                if out_counts[to as usize] < gamma {
+                    out_counts[to as usize] += 1;
+                    out_global[to as usize].push((sender, msg));
+                    report.global_messages += 1;
+                } else {
+                    report.dropped_global += 1;
+                }
+            }
+        };
+
+        for round in 0..=max_rounds {
+            let mut out_local: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+            let mut out_global: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
+            let mut out_counts: Vec<usize> = vec![0; n];
+            for v in 0..n {
+                let mut local_outbox = Vec::new();
+                let mut global_outbox = Vec::new();
+                let mut ctx = NodeCtx {
+                    node: v as NodeId,
+                    neighbors: &neighbor_lists[v],
+                    local_inbox: &local_inboxes[v],
+                    global_inbox: &global_inboxes[v],
+                    local_outbox: &mut local_outbox,
+                    global_outbox: &mut global_outbox,
+                    gamma,
+                    global_send_overflow: 0,
+                };
+                if round == 0 {
+                    programs[v].init(&mut ctx);
+                } else {
+                    programs[v].on_round(&mut ctx, round);
+                }
+                report.refused_sends += ctx.global_send_overflow;
+                route(
+                    v as NodeId,
+                    local_outbox,
+                    global_outbox,
+                    &mut out_local,
+                    &mut out_global,
+                    &mut out_counts,
+                    &mut report,
+                );
+            }
+            if round > 0 {
+                report.rounds = round;
+            }
+            local_inboxes = out_local;
+            global_inboxes = out_global;
+        }
+        (programs, report)
+    }
+
+    /// `(round, local inbox, global inbox)` as received by one node.
+    type InboxLogEntry = (u64, Vec<(NodeId, u64)>, Vec<(NodeId, u64)>);
+
+    /// A deterministic chaos program: every node records every inbox it ever
+    /// sees and sends a pseudo-random pattern of local and global messages
+    /// derived only from `(node, round)` — so the arena engine and the
+    /// reference engine face the identical workload.
+    #[derive(Clone)]
+    struct Chaos {
+        id: NodeId,
+        n: u32,
+        log: Vec<InboxLogEntry>,
+    }
+
+    fn mix(a: u64, b: u64) -> u64 {
+        let mut z = a
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(b.wrapping_mul(0xD134_2543_DE82_EF95));
+        z ^= z >> 29;
+        z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^ (z >> 32)
+    }
+
+    impl NodeProgram for Chaos {
+        type Msg = u64;
+
+        fn init(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+            self.on_round(ctx, 0);
+        }
+
+        fn on_round(&mut self, ctx: &mut NodeCtx<'_, u64>, round: u64) {
+            self.log.push((
+                round,
+                ctx.local_inbox().to_vec(),
+                ctx.global_inbox().to_vec(),
+            ));
+            let h = mix(self.id as u64, round);
+            // A bursty local pattern: some nodes broadcast, some stay silent.
+            if h.is_multiple_of(3) {
+                ctx.broadcast_local(h);
+            }
+            if h % 5 == 1 {
+                if let Some(&nb) = ctx.neighbors().first() {
+                    ctx.send_local(nb, h ^ 0xAB);
+                }
+            }
+            // Global fan-in that intentionally overloads a few hot receivers
+            // so the receive cap and the send cap both trigger.
+            let sends = (h % 7) as u32;
+            for i in 0..sends {
+                let target = mix(h, i as u64) as u32 % self.n;
+                ctx.send_global(target % 4, target as u64);
+                ctx.send_global(target, i as u64);
+            }
+        }
+
+        fn done(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn arena_engine_matches_reference_per_round_messages() {
+        for (graph, gamma) in [
+            (generators::grid(&[6, 5]).unwrap(), 3),
+            (generators::star(24).unwrap(), 2),
+            (generators::cycle(17).unwrap(), 5),
+            (generators::tree_balanced(3, 3).unwrap(), 4),
+        ] {
+            let n = graph.n();
+            let params = ModelParams::hybrid_with_global_capacity(n, gamma);
+            let factory = |id: NodeId| Chaos {
+                id,
+                n: n as u32,
+                log: Vec::new(),
+            };
+            let mut exec = Executor::new(&graph, params, factory);
+            let report = exec.run_until(12, |_| false);
+            let (ref_programs, ref_report) = run_reference(&graph, params, factory, 12);
+            assert_eq!(report, ref_report, "reports diverge on n={n} gamma={gamma}");
+            for (p, r) in exec.programs().iter().zip(&ref_programs) {
+                // The exact per-round inbox sequences must match — not just
+                // the multisets: the engine's delivery order is part of its
+                // deterministic contract.
+                assert_eq!(p.log, r.log, "node {} inbox history diverged", p.id);
+            }
+        }
+    }
+
+    #[test]
+    fn arena_engine_matches_reference_multisets_under_heavy_load() {
+        let graph = generators::complete(12).unwrap();
+        let params = ModelParams::hybrid_with_global_capacity(12, 2);
+        let factory = |id: NodeId| Chaos {
+            id,
+            n: 12,
+            log: Vec::new(),
+        };
+        let mut exec = Executor::new(&graph, params, factory);
+        exec.run_until(8, |_| false);
+        let (ref_programs, _) = run_reference(&graph, params, factory, 8);
+        for (p, r) in exec.programs().iter().zip(&ref_programs) {
+            for ((ra, la, ga), (rb, lb, gb)) in p.log.iter().zip(&r.log) {
+                assert_eq!(ra, rb);
+                let mut la = la.clone();
+                let mut lb = lb.clone();
+                la.sort_unstable();
+                lb.sort_unstable();
+                assert_eq!(la, lb, "local multiset diverged at round {ra}");
+                let mut ga = ga.clone();
+                let mut gb = gb.clone();
+                ga.sort_unstable();
+                gb.sort_unstable();
+                assert_eq!(ga, gb, "global multiset diverged at round {ra}");
+            }
+        }
+    }
+
+    #[test]
+    fn arena_groups_by_destination_with_cap() {
+        let mut arena: Arena<u64> = Arena::new(4);
+        let mut stage: Vec<Staged<u64>> = vec![
+            (2, 0, 9, 20),
+            (0, 1, 9, 1),
+            (2, 2, 8, 21),
+            (0, 3, 7, 2),
+            (2, 4, 7, 22),
+        ];
+        let (delivered, dropped) = arena.fill_from(&mut stage, Some(2));
+        assert_eq!((delivered, dropped), (4, 1));
+        assert!(stage.is_empty());
+        assert_eq!(arena.inbox(0), &[(9, 1), (7, 2)]);
+        assert_eq!(arena.inbox(1), &[]);
+        assert_eq!(arena.inbox(2), &[(9, 20), (8, 21)]);
+        assert_eq!(arena.inbox(3), &[]);
     }
 }

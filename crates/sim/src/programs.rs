@@ -109,7 +109,7 @@ impl NodeProgram for BfsProgram {
     fn on_round(&mut self, ctx: &mut NodeCtx<'_, u64>, _round: u64) {
         let incoming_min = ctx.local_inbox().iter().map(|&(_, d)| d).min();
         if let Some(d) = incoming_min {
-            if self.dist.map_or(true, |cur| d + 1 < cur) {
+            if self.dist.is_none_or(|cur| d + 1 < cur) {
                 self.dist = Some(d + 1);
                 self.announced = false;
             }
@@ -260,7 +260,11 @@ mod tests {
         let g = generators::cycle(30).unwrap();
         let k = 5usize;
         let mut exec = Executor::new(&g, ModelParams::hybrid(30), |v| {
-            let initial: Vec<u64> = if (v as usize) < k { vec![v as u64] } else { vec![] };
+            let initial: Vec<u64> = if (v as usize) < k {
+                vec![v as u64]
+            } else {
+                vec![]
+            };
             TokenGossipProgram::new(v, 30, initial, k, 7)
         });
         let report = exec.run(500);

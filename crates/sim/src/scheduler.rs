@@ -276,7 +276,11 @@ mod tests {
         }
         let p = params(n, gamma);
         let r = GlobalScheduler::deliver(&p, &msgs);
-        assert!(r.rounds <= 3, "expected near-optimal schedule, got {}", r.rounds);
+        assert!(
+            r.rounds <= 3,
+            "expected near-optimal schedule, got {}",
+            r.rounds
+        );
     }
 
     #[test]

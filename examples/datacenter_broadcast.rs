@@ -41,7 +41,10 @@ fn main() {
 
     let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
     let universal = k_dissemination(&mut net, &oracle, &tokens);
-    println!("universal broadcast (Theorem 1): {} rounds", universal.rounds);
+    println!(
+        "universal broadcast (Theorem 1): {} rounds",
+        universal.rounds
+    );
     println!("  phase trace:");
     for phase in net.meter().trace().iter().take(12) {
         println!("    {:<42} {:>5} rounds", phase.label, phase.rounds);
@@ -49,7 +52,10 @@ fn main() {
 
     let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
     let baseline = baseline_sqrt_k_dissemination(&mut net, &oracle, &tokens);
-    println!("baseline broadcast (Õ(sqrt k)) : {} rounds", baseline.rounds);
+    println!(
+        "baseline broadcast (Õ(sqrt k)) : {} rounds",
+        baseline.rounds
+    );
 
     // 2. Aggregate 8 per-host health counters (max over the fleet).
     let counters: Vec<Vec<u64>> = (0..n as u64)

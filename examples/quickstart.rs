@@ -22,9 +22,12 @@ fn main() {
     let holders: Vec<u32> = (0..64).collect();
     let tokens = place_tokens(&holders, k);
 
-    println!("HYBRID network: n = {}, m = {}, D = {}", graph.n(), graph.m(), {
-        hybrid::graph::properties::diameter(&graph)
-    });
+    println!(
+        "HYBRID network: n = {}, m = {}, D = {}",
+        graph.n(),
+        graph.m(),
+        { hybrid::graph::properties::diameter(&graph) }
+    );
     println!(
         "workload k = {k}:  NQ_k = {}   (worst-case bound sqrt(k) = {})",
         oracle.nq(k),
@@ -43,7 +46,10 @@ fn main() {
     let params = ModelParams::hybrid0(graph.n());
     let bound = dissemination_lower_bound(&oracle, &params, k, 0.99);
 
-    assert_eq!(universal.tokens, baseline.tokens, "both deliver every message");
+    assert_eq!(
+        universal.tokens, baseline.tokens,
+        "both deliver every message"
+    );
     println!();
     println!("universal  (Theorem 1) : {:>6} rounds", universal.rounds);
     println!("baseline   (Õ(sqrt k)) : {:>6} rounds", baseline.rounds);

@@ -23,8 +23,14 @@ fn families(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
             "grid",
             generators::grid(&[(n as f64).sqrt() as usize, (n as f64).sqrt() as usize]).unwrap(),
         ),
-        ("tree", generators::tree_balanced(2, (n as f64).log2() as usize).unwrap()),
-        ("er", generators::erdos_renyi(n, 6.0 / n as f64, &mut rng).unwrap()),
+        (
+            "tree",
+            generators::tree_balanced(2, (n as f64).log2() as usize).unwrap(),
+        ),
+        (
+            "er",
+            generators::erdos_renyi(n, 6.0 / n as f64, &mut rng).unwrap(),
+        ),
     ]
 }
 
@@ -121,7 +127,10 @@ fn fixed_radius_ablation_monotone_in_radius_quality() {
         assert_eq!(out.tokens.len(), k as usize);
         rounds.push(out.rounds);
     }
-    assert!(rounds[0] <= rounds[1] && rounds[1] <= rounds[2], "rounds {rounds:?} not monotone");
+    assert!(
+        rounds[0] <= rounds[1] && rounds[1] <= rounds[2],
+        "rounds {rounds:?} not monotone"
+    );
 }
 
 #[test]
@@ -152,12 +161,19 @@ fn phase_engine_and_message_passing_engine_agree_on_delivery() {
     let k = 24usize;
     let params = ModelParams::hybrid(graph.n());
     let mut exec = Executor::new(&graph, params, |v| {
-        let initial: Vec<u64> = if (v as usize) < k { vec![v as u64] } else { vec![] };
+        let initial: Vec<u64> = if (v as usize) < k {
+            vec![v as u64]
+        } else {
+            vec![]
+        };
         TokenGossipProgram::new(v, graph.n(), initial, k, 99)
     });
     let gossip = exec.run(5_000);
     assert!(gossip.completed, "gossip never finished");
-    assert_eq!(gossip.refused_sends, 0, "gossip exceeded its own send budget");
+    assert_eq!(
+        gossip.refused_sends, 0,
+        "gossip exceeded its own send budget"
+    );
     for p in exec.programs() {
         assert_eq!(p.known.len(), k);
     }

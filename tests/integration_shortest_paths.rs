@@ -28,7 +28,9 @@ fn theorem6_apsp_stretch_and_shape_across_families() {
         let oracle = NqOracle::new(&graph);
         let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
         let uni = apsp_unweighted(&mut net, &oracle, 0.5);
-        let worst = uni.verify_stretch(&graph).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let worst = uni
+            .verify_stretch(&graph)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(worst <= 1.5, "{name}: stretch {worst}");
 
         let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
@@ -95,7 +97,13 @@ fn theorem14_kssp_tracks_sqrt_k_and_beats_prior_for_small_k() {
     for &k in &[16usize, 64, 256] {
         let sources = sample_distinct(graph.n(), k, &mut rng);
         let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
-        let out = kssp(&mut net, &sources, 1.0, KsspVariant::RandomSources, &mut rng);
+        let out = kssp(
+            &mut net,
+            &sources,
+            1.0,
+            KsspVariant::RandomSources,
+            &mut rng,
+        );
         out.verify_stretch(&graph).unwrap();
         rounds.push(out.rounds);
     }
@@ -154,8 +162,7 @@ fn cut_approximation_pipeline_preserves_random_cuts() {
     let oracle = NqOracle::new(&graph);
     let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
     let out = hybrid::core::cuts::approximate_all_cuts(&mut net, &oracle, 0.5, &mut rng);
-    let err =
-        hybrid::core::cuts::measured_cut_error(&graph, &out.sparsifier.graph, 20, &mut rng);
+    let err = hybrid::core::cuts::measured_cut_error(&graph, &out.sparsifier.graph, 20, &mut rng);
     assert!(err <= 1.0, "cut error {err} too large");
     assert!(out.rounds > 0);
 }

@@ -142,6 +142,77 @@ proptest! {
         prop_assert!(out.verify_stretch(&exact).is_ok());
     }
 
+    /// The three single-source oracles are interchangeable: Dial bucket-queue
+    /// Dijkstra ≡ binary-heap Dijkstra on every graph, and both ≡ BFS on
+    /// unweighted graphs.  This is the contract that lets the workspace pick
+    /// the cheapest oracle by weight range.
+    #[test]
+    fn bucket_queue_equals_heap_equals_bfs(graph in arbitrary_graph(), src_sel in any::<u32>()) {
+        let source = src_sel % graph.n() as u32;
+        let heap = hybrid::graph::dijkstra::dijkstra_heap(&graph, source);
+        let dial = hybrid::graph::dijkstra::dijkstra_dial(&graph, source);
+        prop_assert_eq!(&heap.dist, &dial.dist);
+        let auto = hybrid::graph::dijkstra::sssp_auto(&graph, source);
+        prop_assert_eq!(&heap.dist, &auto);
+        if !graph.is_weighted() {
+            let bfs = hybrid::graph::traversal::bfs(&graph, source);
+            prop_assert_eq!(&heap.dist, &bfs.dist);
+        }
+    }
+
+    /// Same equivalence on weighted graphs (random weights in [1, 64] keep
+    /// the Dial ring small; [1, 1000] forces the heap path of `sssp_auto`).
+    #[test]
+    fn bucket_queue_equals_heap_weighted(
+        graph in arbitrary_graph(),
+        max_w in 2u64..1000,
+        src_sel in any::<u32>(),
+        wseed in any::<u64>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(wseed);
+        let weighted =
+            hybrid::graph::generators::with_random_weights(&graph, max_w, &mut rng).unwrap();
+        let source = src_sel % weighted.n() as u32;
+        let heap = hybrid::graph::dijkstra::dijkstra_heap(&weighted, source);
+        let dial = hybrid::graph::dijkstra::dijkstra_dial(&weighted, source);
+        prop_assert_eq!(&heap.dist, &dial.dist);
+        prop_assert_eq!(&heap.dist, &hybrid::graph::dijkstra::sssp_auto(&weighted, source));
+        // The workspace produces identical distances under reuse.
+        let mut ws = hybrid::graph::dijkstra::DijkstraWorkspace::new();
+        ws.run(&weighted, source);
+        prop_assert_eq!(heap.dist.as_slice(), ws.dist());
+        ws.run(&graph, source);
+        let unweighted_bfs = hybrid::graph::traversal::bfs(&graph, source);
+        prop_assert_eq!(unweighted_bfs.dist.as_slice(), ws.dist());
+    }
+
+    /// Hop-limited distances with enough hops recover exact distances, and
+    /// the workspace variant matches the allocating one on every prefix.
+    #[test]
+    fn hop_limited_consistent(graph in arbitrary_graph(), h in 0usize..20, src_sel in any::<u32>()) {
+        let source = src_sel % graph.n() as u32;
+        let row = hybrid::graph::dijkstra::hop_limited_distances(&graph, source, h);
+        let mut ws = hybrid::graph::dijkstra::HopLimitedWorkspace::new();
+        let mut row2 = Vec::new();
+        hybrid::graph::dijkstra::hop_limited_distances_with(&mut ws, &graph, source, h, &mut row2);
+        prop_assert_eq!(&row, &row2);
+        let exact = hybrid::graph::dijkstra::dijkstra(&graph, source).dist;
+        let full = hybrid::graph::dijkstra::hop_limited_distances(&graph, source, graph.n());
+        prop_assert_eq!(&full, &exact);
+        for v in 0..graph.n() {
+            prop_assert!(row[v] >= exact[v]);
+        }
+    }
+
+    /// Parallel exact APSP agrees with independent per-source runs.
+    #[test]
+    fn parallel_apsp_matches_single_source(graph in arbitrary_graph(), src_sel in any::<u32>()) {
+        let all = hybrid::graph::dijkstra::apsp_exact(&graph);
+        let v = src_sel % graph.n() as u32;
+        let single = hybrid::graph::dijkstra::dijkstra_heap(&graph, v);
+        prop_assert_eq!(&all[v as usize], &single.dist);
+    }
+
     /// Universal dissemination always delivers every token and is never
     /// slower than the sqrt(k) baseline.
     #[test]

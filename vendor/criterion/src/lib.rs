@@ -1,0 +1,191 @@
+//! Offline stand-in for `criterion`: the same macro/builder surface the
+//! workspace's benches use (`criterion_group!`, `criterion_main!`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`),
+//! backed by a simple wall-clock sampler.
+//!
+//! Each benchmark takes `sample_size` samples (default 10) after one warm-up
+//! call; fast routines are batched so a sample never measures below ~1µs of
+//! work.  The min / median / mean of the per-iteration time are printed in a
+//! `name ... time: [min median mean]` line, deliberately close to criterion's
+//! output format so humans and scripts can grep it the same way.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value laundering to keep the optimizer honest.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of a parameterized benchmark (`function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs one benchmark routine and collects samples.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `sample_size` samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up + batch-size calibration.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed();
+        let batch = if once < Duration::from_micros(1) {
+            (Duration::from_micros(20).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000)
+                as usize
+        } else {
+            1
+        };
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            return;
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{}/{:<40} time: [{:>10.3?} {:>10.3?} {:>10.3?}]",
+            self.name, id, min, median, mean
+        );
+        self.criterion.results.push(BenchResult {
+            group: self.name.clone(),
+            id,
+            median_ns: median.as_nanos() as u64,
+        });
+    }
+
+    /// Benchmarks a closure under the given id.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let id = id.into().id;
+        self.run(id, f);
+    }
+
+    /// Benchmarks a closure that receives a shared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run(id.id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// One recorded benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: u64,
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// Results collected so far (inspectable by custom harnesses).
+    pub results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Declares a benchmark group runner function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,421 @@
+//! Offline stand-in for `rayon`, covering the indexed data-parallel subset
+//! this workspace uses: `into_par_iter()` on integer ranges, `par_iter()` on
+//! slices, `map` / `map_init` / `for_each` / `collect::<Vec<_>>()`.
+//!
+//! Execution model: the driving thread splits the index space into one
+//! contiguous chunk per worker and runs the chunks on `std::thread::scope`
+//! threads (no unsafe, no global pool).  Results are stitched back together
+//! in index order, so **output order is deterministic and identical to the
+//! sequential execution** regardless of thread scheduling — a property the
+//! reproduction relies on for seed-stable tables.
+//!
+//! Knobs and guards:
+//!
+//! * `RAYON_NUM_THREADS` (same variable as real rayon) caps the worker count;
+//!   unset, the count is `std::thread::available_parallelism()`.
+//! * Nested parallel regions run sequentially (a thread-local flag): the
+//!   outermost fan-out (per scenario row / per APSP source block) gets the
+//!   cores, inner oracles stay allocation-lean single-threaded.
+//! * Tiny inputs (`len < min_len`, default 2) skip thread spawning entirely.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+thread_local! {
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+fn configured_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Number of worker threads a parallel region may use.
+pub fn current_num_threads() -> usize {
+    configured_threads()
+}
+
+/// An indexed source of `len` independent items.
+pub trait ParSource: Sync {
+    /// Item produced at each index.
+    type Item: Send;
+
+    /// Number of items.
+    fn sp_len(&self) -> usize;
+
+    /// Produces the item at `i` (`i < sp_len()`).
+    fn sp_get(&self, i: usize) -> Self::Item;
+
+    /// Runs a contiguous chunk, appending the produced items to `out` in
+    /// index order.  Sources with per-chunk state override this.
+    fn sp_run_chunk(&self, range: Range<usize>, out: &mut Vec<Self::Item>) {
+        for i in range {
+            out.push(self.sp_get(i));
+        }
+    }
+
+    /// Runs a contiguous chunk for side effects only.
+    fn sp_drive_chunk(&self, range: Range<usize>) {
+        for i in range {
+            let _ = self.sp_get(i);
+        }
+    }
+}
+
+/// Integer-range source.
+pub struct RangeSource<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl ParSource for RangeSource<$t> {
+            type Item = $t;
+
+            fn sp_len(&self) -> usize {
+                self.len
+            }
+
+            fn sp_get(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<RangeSource<$t>>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                ParIter {
+                    source: RangeSource {
+                        start: self.start,
+                        len: (self.end.saturating_sub(self.start)) as usize,
+                    },
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_source!(u32, u64, usize);
+
+/// Borrowed-slice source.
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParSource for SliceSource<'a, T> {
+    type Item = &'a T;
+
+    fn sp_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn sp_get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// `map` combinator.
+pub struct MapSource<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, R> ParSource for MapSource<S, F>
+where
+    S: ParSource,
+    F: Fn(S::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn sp_len(&self) -> usize {
+        self.inner.sp_len()
+    }
+
+    fn sp_get(&self, i: usize) -> R {
+        (self.f)(self.inner.sp_get(i))
+    }
+}
+
+/// `map_init` combinator: per-chunk scratch state (e.g. a reusable Dijkstra
+/// workspace) built once per worker chunk instead of once per item.
+pub struct MapInitSource<S, INIT, F> {
+    inner: S,
+    init: INIT,
+    f: F,
+}
+
+impl<S, INIT, T, F, R> ParSource for MapInitSource<S, INIT, F>
+where
+    S: ParSource,
+    INIT: Fn() -> T + Sync,
+    F: Fn(&mut T, S::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn sp_len(&self) -> usize {
+        self.inner.sp_len()
+    }
+
+    fn sp_get(&self, i: usize) -> R {
+        let mut state = (self.init)();
+        (self.f)(&mut state, self.inner.sp_get(i))
+    }
+
+    fn sp_run_chunk(&self, range: Range<usize>, out: &mut Vec<R>) {
+        let mut state = (self.init)();
+        for i in range {
+            out.push((self.f)(&mut state, self.inner.sp_get(i)));
+        }
+    }
+
+    fn sp_drive_chunk(&self, range: Range<usize>) {
+        let mut state = (self.init)();
+        for i in range {
+            let _ = (self.f)(&mut state, self.inner.sp_get(i));
+        }
+    }
+}
+
+/// A parallel iterator over an indexed source.
+pub struct ParIter<S> {
+    source: S,
+}
+
+impl<S: ParSource> ParIter<S> {
+    /// Maps each item through `f`.
+    pub fn map<R: Send, F: Fn(S::Item) -> R + Sync>(self, f: F) -> ParIter<MapSource<S, F>> {
+        ParIter {
+            source: MapSource {
+                inner: self.source,
+                f,
+            },
+        }
+    }
+
+    /// Maps with per-chunk scratch state created by `init`.
+    pub fn map_init<T, INIT, R, F>(self, init: INIT, f: F) -> ParIter<MapInitSource<S, INIT, F>>
+    where
+        INIT: Fn() -> T + Sync,
+        F: Fn(&mut T, S::Item) -> R + Sync,
+        R: Send,
+    {
+        ParIter {
+            source: MapInitSource {
+                inner: self.source,
+                init,
+                f,
+            },
+        }
+    }
+
+    /// Accepted for rayon compatibility; chunking is already coarse.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Collects the items in index order.
+    pub fn collect<C: FromParIter<S::Item>>(self) -> C {
+        C::from_par_source(self.source)
+    }
+
+    /// Runs `f` on every item (index order within a chunk; chunks parallel).
+    pub fn for_each<F: Fn(S::Item) + Sync>(self, f: F) {
+        let mapped = MapSource {
+            inner: self.source,
+            f: move |x| f(x),
+        };
+        drive(&mapped);
+    }
+}
+
+/// Collection types a [`ParIter`] can collect into.
+pub trait FromParIter<T> {
+    /// Builds the collection from the source.
+    fn from_par_source<S: ParSource<Item = T>>(source: S) -> Self;
+}
+
+impl<T: Send> FromParIter<T> for Vec<T> {
+    fn from_par_source<S: ParSource<Item = T>>(source: S) -> Self {
+        execute(&source)
+    }
+}
+
+fn plan(len: usize) -> Option<(usize, usize)> {
+    let threads = configured_threads().min(len);
+    if threads <= 1 || len < 2 || IN_PARALLEL_REGION.with(Cell::get) {
+        return None;
+    }
+    Some((threads, len.div_ceil(threads)))
+}
+
+fn execute<S: ParSource>(source: &S) -> Vec<S::Item> {
+    let len = source.sp_len();
+    let Some((threads, chunk)) = plan(len) else {
+        let mut out = Vec::with_capacity(len);
+        source.sp_run_chunk(0..len, &mut out);
+        return out;
+    };
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let range = t * chunk..len.min((t + 1) * chunk);
+                scope.spawn(move || {
+                    IN_PARALLEL_REGION.with(|f| f.set(true));
+                    let mut out = Vec::with_capacity(range.len());
+                    source.sp_run_chunk(range, &mut out);
+                    out
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+        out
+    })
+}
+
+fn drive<S: ParSource>(source: &S) {
+    let len = source.sp_len();
+    let Some((threads, chunk)) = plan(len) else {
+        source.sp_drive_chunk(0..len);
+        return;
+    };
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let range = t * chunk..len.min((t + 1) * chunk);
+            scope.spawn(move || {
+                IN_PARALLEL_REGION.with(|f| f.set(true));
+                source.sp_drive_chunk(range);
+            });
+        }
+    });
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a borrowing parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Iterator type.
+    type Iter;
+
+    /// Creates a parallel iterator borrowing from `self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<SliceSource<'a, T>>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter {
+            source: SliceSource { slice: self },
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<SliceSource<'a, T>>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter {
+            source: SliceSource { slice: self },
+        }
+    }
+}
+
+/// The glob-importable API surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(out, (0u64..1000).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_borrows() {
+        let data: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = data.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, data.iter().map(|s| s.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_state_is_per_chunk() {
+        let out: Vec<usize> = (0usize..64)
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |scratch, i| {
+                scratch.push(i);
+                scratch.len()
+            })
+            .collect();
+        // Within each chunk the scratch grows monotonically from 1.
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().all(|&c| c >= 1));
+        assert_eq!(out[0], 1);
+    }
+
+    #[test]
+    fn nested_regions_do_not_explode() {
+        let out: Vec<usize> = (0usize..8)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0usize..8).into_par_iter().map(|j| i * 8 + j).collect();
+                inner.into_iter().sum()
+            })
+            .collect();
+        let expect: Vec<usize> = (0usize..8)
+            .map(|i| (0usize..8).map(|j| i * 8 + j).sum())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        (0usize..500).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let out: Vec<u32> = (5u32..5).into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

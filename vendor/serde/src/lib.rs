@@ -1,0 +1,181 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal, dependency-free replacement that covers exactly the surface the
+//! repository uses: `#[derive(Serialize, Deserialize)]` on plain structs and
+//! enums, plus JSON emission through the sibling `serde_json` stand-in.
+//!
+//! Design: instead of serde's visitor architecture, [`Serialize`] converts a
+//! value into an owned JSON [`Value`] tree which `serde_json` renders.  That
+//! is entirely sufficient for the result files the benchmarks write, and it
+//! keeps the stand-in ~200 lines.  [`Deserialize`] is a marker trait: nothing
+//! in the repository parses JSON back (results are read by Python/jq in CI).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (rendered without decimal point).
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Floating-point number (non-finite values render as `null`).
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion of a Rust value into a JSON [`Value`] tree.
+///
+/// This trait plays the role of `serde::Serialize`; the derive macro emits a
+/// field-by-field implementation for structs and an externally-tagged one for
+/// enums (matching serde's default representation).
+pub trait Serialize {
+    /// Builds the JSON tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait standing in for `serde::Deserialize`.
+///
+/// No code in this repository deserializes, so the derive emits an empty
+/// implementation purely to keep `#[derive(Deserialize)]` compiling.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(7u32.to_value(), Value::UInt(7));
+        assert_eq!((-3i64).to_value(), Value::Int(-3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::Str("x".into()));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+        assert_eq!(
+            (1u8, "a").to_value(),
+            Value::Array(vec![Value::UInt(1), Value::Str("a".into())])
+        );
+    }
+}
