@@ -5,12 +5,18 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p hybrid-bench --bin reproduce -- [table1|table2|table3|table4|figure1|appendix-b|all] [--quick]
+//! cargo run --release -p hybrid-bench --bin reproduce -- [table1|table2|table3|table4|figure1|appendix-b|all] [--quick] [--check-regression]
 //! ```
 //!
 //! `--quick` shrinks the instance sizes so the full run finishes in well under
 //! a minute (used by CI and by the recorded EXPERIMENTS.md runs on small
 //! machines); without it the default sizes are used.
+//!
+//! `--check-regression` compares the wall-clock times of this run against the
+//! committed `BENCH_baseline.json` with a generous tolerance and prints a
+//! warning per regressed target.  It is **warn-only** (the exit code stays 0):
+//! the gate exists to make perf drift visible in CI logs, not to block merges
+//! on noisy container timings.
 
 use std::fs;
 use std::path::Path;
@@ -76,6 +82,112 @@ impl BenchRecord {
                 println!("  (wrote {} — new perf baseline)", baseline.display());
             }
         }
+    }
+}
+
+/// A regressed target is one slower than `factor × baseline + slack`.  The
+/// tolerance is deliberately generous: CI containers and developer laptops
+/// time the same work very differently, and the gate is a tripwire for
+/// order-of-magnitude drift, not a microbenchmark.
+const REGRESSION_FACTOR: f64 = 2.0;
+const REGRESSION_SLACK_MS: f64 = 100.0;
+
+/// Pulls every `"target": "name" … "wall_ms": x` pair out of a recorded
+/// bench JSON without a deserializer (the vendored `serde_json` only
+/// serializes).  The scan keys on the `"target"` fields, so the baseline's
+/// auxiliary maps (e.g. `pre_optimization_wall_ms`) are ignored.
+fn parse_recorded_targets(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for chunk in json.split("\"target\"").skip(1) {
+        let Some(name) = chunk.split('"').nth(1) else {
+            continue;
+        };
+        let Some(rest) = chunk.split("\"wall_ms\"").nth(1) else {
+            continue;
+        };
+        let number: String = rest
+            .chars()
+            .skip_while(|c| *c == ':' || c.is_whitespace())
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+            .collect();
+        if let Ok(ms) = number.parse::<f64>() {
+            out.push((name.to_string(), ms));
+        }
+    }
+    out
+}
+
+/// Whether the recorded JSON was a `--quick` run (`"quick": true`).
+fn parse_quick_flag(json: &str) -> Option<bool> {
+    let rest = json.split("\"quick\"").nth(1)?;
+    let value = rest.trim_start_matches([':', ' ', '\t', '\n']);
+    if value.starts_with("true") {
+        Some(true)
+    } else if value.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// The warn-only bench regression gate: compares this run's per-target times
+/// against `BENCH_baseline.json`.  Never fails the process — it prints
+/// GitHub-annotation-style warnings so CI logs surface drift.
+fn check_regression(record: &BenchRecord) {
+    let baseline_path = Path::new("BENCH_baseline.json");
+    let Ok(text) = fs::read_to_string(baseline_path) else {
+        println!("\n[regression gate] no {} — nothing to compare against (run `reproduce all` once to record it)", baseline_path.display());
+        return;
+    };
+    if parse_quick_flag(&text) != Some(record.quick) {
+        println!(
+            "\n[regression gate] baseline quick={:?} does not match this run (quick={}); skipping comparison",
+            parse_quick_flag(&text),
+            record.quick
+        );
+        return;
+    }
+    let baseline = parse_recorded_targets(&text);
+    if baseline.is_empty() {
+        println!(
+            "\n[regression gate] {} has no parsable targets; skipping",
+            baseline_path.display()
+        );
+        return;
+    }
+    println!("\n[regression gate] comparing against {} (warn at > {REGRESSION_FACTOR}x + {REGRESSION_SLACK_MS} ms):", baseline_path.display());
+    let mut regressed = 0usize;
+    for t in &record.targets {
+        let Some(&(_, base_ms)) = baseline.iter().find(|(name, _)| name == t.target) else {
+            println!(
+                "  {:<12} {:>9.1} ms (no baseline entry)",
+                t.target, t.wall_ms
+            );
+            continue;
+        };
+        let limit = REGRESSION_FACTOR * base_ms + REGRESSION_SLACK_MS;
+        if t.wall_ms > limit {
+            regressed += 1;
+            println!(
+                "::warning title=bench regression::{} took {:.1} ms vs baseline {:.1} ms (limit {:.1} ms)",
+                t.target, t.wall_ms, base_ms, limit
+            );
+        } else {
+            println!(
+                "  {:<12} {:>9.1} ms vs baseline {:>9.1} ms  ok",
+                t.target, t.wall_ms, base_ms
+            );
+        }
+    }
+    if regressed == 0 {
+        println!(
+            "[regression gate] all {} targets within tolerance",
+            record.targets.len()
+        );
+    } else {
+        println!(
+            "[regression gate] {regressed} target(s) regressed (warn-only; not failing the run)"
+        );
     }
 }
 
@@ -272,6 +384,7 @@ fn run_appendix_b(quick: bool) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check-regression");
     let what = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -309,4 +422,7 @@ fn main() {
         total_wall_ms,
     };
     record.write(what == "all");
+    if check {
+        check_regression(&record);
+    }
 }

@@ -125,6 +125,10 @@ fn lattice(dims: &[usize], wrap: bool) -> Result<Graph> {
 }
 
 /// Complete `arity`-ary tree of the given `depth` (depth 0 is a single root).
+///
+/// The node count is `1 + arity + … + arity^depth`, which can overshoot a
+/// size target by up to `arity ×`; experiment sweeps that need a tree of a
+/// *specific* size should use [`tree_with_n`] instead.
 pub fn tree_balanced(arity: usize, depth: usize) -> Result<Graph> {
     if arity == 0 {
         return Err(GraphError::InvalidParameter {
@@ -138,15 +142,28 @@ pub fn tree_balanced(arity: usize, depth: usize) -> Result<Graph> {
         level = level.saturating_mul(arity);
         n = n.saturating_add(level);
     }
+    tree_with_n(arity, n)
+}
+
+/// Truncated complete `arity`-ary tree with **exactly** `n` nodes: the tree
+/// is filled level by level in BFS (heap) numbering — node `v`'s children are
+/// `arity·v + 1 ..= arity·v + arity` — and simply stops at `n`, so every
+/// level except possibly the last is full.  This keeps the depth at
+/// `⌈log_arity n⌉` without the up-to-`arity ×` size overshoot of
+/// [`tree_balanced`].
+pub fn tree_with_n(arity: usize, n: usize) -> Result<Graph> {
+    if arity == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "tree arity must be positive".into(),
+        });
+    }
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
     let mut b = GraphBuilder::new(n);
-    // Children of node v (BFS numbering): arity*v + 1 ... arity*v + arity.
-    for v in 0..n {
-        for c in 1..=arity {
-            let child = arity * v + c;
-            if child < n {
-                b.add_unweighted_edge(v as NodeId, child as NodeId)?;
-            }
-        }
+    // Parent of node v (BFS numbering): (v - 1) / arity.
+    for v in 1..n {
+        b.add_unweighted_edge(((v - 1) / arity) as NodeId, v as NodeId)?;
     }
     b.build()
 }
@@ -403,6 +420,34 @@ mod tests {
         let t = tree_balanced(3, 2).unwrap();
         assert_eq!(t.n(), 13);
         assert!(tree_balanced(0, 2).is_err());
+    }
+
+    #[test]
+    fn tree_with_n_hits_size_exactly() {
+        for arity in 1..=4usize {
+            for n in 1..=40usize {
+                let t = tree_with_n(arity, n).unwrap();
+                assert_eq!(t.n(), n, "arity {arity}");
+                assert_eq!(t.m(), n - 1, "a tree has n-1 edges");
+                let (_, c) = connected_components(&t);
+                assert_eq!(c, 1);
+            }
+        }
+        assert!(tree_with_n(0, 5).is_err());
+        assert!(tree_with_n(2, 0).is_err());
+    }
+
+    #[test]
+    fn tree_with_n_matches_balanced_on_complete_sizes() {
+        // On node counts that form complete trees the two constructions are
+        // the same graph (identical BFS numbering).
+        let full = tree_balanced(2, 3).unwrap();
+        let trunc = tree_with_n(2, 15).unwrap();
+        assert_eq!(full.edges(), trunc.edges());
+        // Truncation keeps the depth logarithmic: 20 nodes, arity 2 ⇒ the
+        // deepest node (19) sits at depth 4, so the diameter is at most 8.
+        let t = tree_with_n(2, 20).unwrap();
+        assert!(diameter(&t) <= 8, "diameter {}", diameter(&t));
     }
 
     #[test]

@@ -18,11 +18,16 @@ use crate::params::ModelParams;
 use crate::scheduler::{DeliveryReport, GlobalMessage, GlobalScheduler};
 
 /// A simulated HYBRID network: graph + model parameters + cost meter.
+///
+/// The network owns a [`GlobalScheduler`] workspace, so repeated
+/// [`HybridNetwork::deliver_global`] phases reuse one set of scheduling
+/// buffers instead of allocating per batch.
 #[derive(Debug, Clone)]
 pub struct HybridNetwork {
     graph: Arc<Graph>,
     params: ModelParams,
     meter: CostMeter,
+    scheduler: GlobalScheduler,
 }
 
 impl HybridNetwork {
@@ -42,6 +47,7 @@ impl HybridNetwork {
             graph,
             params,
             meter: CostMeter::new(),
+            scheduler: GlobalScheduler::new(),
         }
     }
 
@@ -125,13 +131,15 @@ impl HybridNetwork {
     }
 
     /// Delivers a batch of global messages through the capacity-constrained
-    /// global network and charges the rounds the schedule took.
+    /// global network and charges the rounds the schedule took.  The
+    /// network's scheduler workspace is reused across batches, so a
+    /// steady-state phase allocates nothing here.
     pub fn deliver_global(
         &mut self,
         label: impl Into<String>,
         messages: &[GlobalMessage],
     ) -> DeliveryReport {
-        let report = GlobalScheduler::deliver(&self.params, messages);
+        let report = self.scheduler.deliver_with(&self.params, messages);
         self.meter
             .record_global(label, report.rounds, report.messages);
         report

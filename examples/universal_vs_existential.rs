@@ -26,7 +26,7 @@ fn main() {
         ("cycle", generators::cycle(1024).unwrap()),
         ("grid 32x32", generators::grid(&[32, 32]).unwrap()),
         ("grid 10x10x10", generators::grid(&[10, 10, 10]).unwrap()),
-        ("binary tree", generators::tree_balanced(2, 9).unwrap()),
+        ("binary tree", generators::tree_with_n(2, 1024).unwrap()),
         (
             "Erdős–Rényi",
             generators::erdos_renyi(1024, 6.0 / 1024.0, &mut rng).unwrap(),

@@ -23,10 +23,7 @@ fn families(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
             "grid",
             generators::grid(&[(n as f64).sqrt() as usize, (n as f64).sqrt() as usize]).unwrap(),
         ),
-        (
-            "tree",
-            generators::tree_balanced(2, (n as f64).log2() as usize).unwrap(),
-        ),
+        ("tree", generators::tree_with_n(2, n).unwrap()),
         (
             "er",
             generators::erdos_renyi(n, 6.0 / n as f64, &mut rng).unwrap(),
