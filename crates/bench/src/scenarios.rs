@@ -147,13 +147,13 @@ pub struct Table1Row {
     pub sqrt_k: u64,
     /// Rounds of the universal `k`-dissemination (Theorem 1).
     pub dissemination_universal: u64,
-    /// Rounds of the existential `Õ(√k)` baseline ([AHK+20]).
+    /// Rounds of the existential `Õ(√k)` baseline (`[AHK+20]`).
     pub dissemination_baseline: u64,
     /// Rounds of the universal `k`-aggregation (Theorem 2).
     pub aggregation_universal: u64,
     /// Rounds of the universal `(k, ℓ)`-routing (Theorem 3, case 1).
     pub routing_universal: u64,
-    /// Rounds of the `(k, ℓ)`-routing baseline ([KS20]).
+    /// Rounds of the `(k, ℓ)`-routing baseline (`[KS20]`).
     pub routing_baseline: u64,
     /// The universal lower-bound witness (Theorem 4), in rounds.
     pub lower_bound: f64,
@@ -264,7 +264,7 @@ pub struct Table2Row {
     pub weighted_skeleton_universal: u64,
     /// Measured stretch of the Theorem 8 labels.
     pub weighted_skeleton_stretch: f64,
-    /// Literature row: exact `Õ(√n)` APSP ([KS20]) rounds.
+    /// Literature row: exact `Õ(√n)` APSP (`[KS20]`) rounds.
     pub literature_sqrt_n: u64,
     /// Universal lower bound (Theorems 11/12) in rounds.
     pub lower_bound: f64,
@@ -354,7 +354,7 @@ pub struct Table3Row {
     pub universal: u64,
     /// Measured stretch of the Theorem 5 labels.
     pub stretch: f64,
-    /// Literature baseline ([CHLP21a]/[KS20]) rounds.
+    /// Literature baseline (`[CHLP21a]`/`[KS20]`) rounds.
     pub baseline: u64,
     /// Universal lower bound (Theorems 11/12) in rounds.
     pub lower_bound: f64,
@@ -431,13 +431,13 @@ pub struct Table4Row {
     pub theorem13: u64,
     /// Measured stretch of the Theorem 13 labels.
     pub theorem13_stretch: f64,
-    /// [KS20] `Õ(√n)` exact baseline rounds.
+    /// `[KS20]` `Õ(√n)` exact baseline rounds.
     pub ks20_sqrt_n: u64,
-    /// [CHLP21b] `Õ(n^{5/17})` baseline rounds.
+    /// `[CHLP21b]` `Õ(n^{5/17})` baseline rounds.
     pub chlp21: u64,
-    /// [AHK+20] `Õ(n^ε)` baseline rounds (ε = 1/3).
+    /// `[AHK+20]` `Õ(n^ε)` baseline rounds (ε = 1/3).
     pub ahk20: u64,
-    /// [AG21a] deterministic `Õ(√n)` baseline rounds.
+    /// `[AG21a]` deterministic `Õ(√n)` baseline rounds.
     pub ag21: u64,
 }
 
@@ -498,7 +498,7 @@ pub struct Figure1Row {
     pub new_algorithm: u64,
     /// The implied exponent `δ = log_n(rounds)`.
     pub new_delta: f64,
-    /// Rounds of the prior `Õ(n^{1/3} + √k)` algorithm ([CHLP21a]).
+    /// Rounds of the prior `Õ(n^{1/3} + √k)` algorithm (`[CHLP21a]`).
     pub prior_algorithm: u64,
     /// The implied exponent for the prior algorithm.
     pub prior_delta: f64,

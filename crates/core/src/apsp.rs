@@ -11,7 +11,7 @@
 //! * [`apsp_sparse_exact`] — Corollary 2.2: on graphs with `Õ(n)` edges,
 //!   broadcast the whole graph and solve everything locally and exactly;
 //! * [`baseline_sqrt_n_apsp`] — the existentially optimal `Õ(√n)` comparison
-//!   row of Table 2 ([AHK+20], [KS20], [AG21a]).
+//!   row of Table 2 (`[AHK+20]`, `[KS20]`, `[AG21a]`).
 //!
 //! Every function returns the full `n × n` label matrix so the test suite can
 //! verify the promised stretch against exact Dijkstra.
@@ -25,6 +25,7 @@ use rand::Rng;
 use rayon::prelude::*;
 
 use crate::dissemination::{disseminate_with_radius, RadiusPolicy, TokenPlacement};
+use crate::minplus;
 use crate::nq::NqOracle;
 use crate::prob::ln_n;
 use crate::skeleton::build_skeleton;
@@ -336,7 +337,7 @@ pub fn apsp_weighted_skeleton(
 
     // Skeleton with sampling probability 1/t, spanner of the skeleton.
     let skeleton = build_skeleton(net, t, &[], rng);
-    let spanner = greedy_spanner(Some(net), &skeleton.graph, alpha);
+    let spanner = greedy_spanner(Some(net), skeleton.graph(), alpha);
     broadcast_tokens(net, oracle, spanner.m(), 0);
 
     // Every node learns its h-hop neighbourhood (h = ξ·t·ln n), finds its
@@ -372,25 +373,33 @@ pub fn apsp_weighted_skeleton(
     // (2α−1)-approximate distances between skeleton nodes from the spanner.
     let spanner_dist: Vec<Vec<Weight>> = apsp_exact(&spanner.graph);
 
-    let dist: Vec<Vec<Weight>> = (0..n)
+    // Label composition on the shared (min,+) kernel: node v composes
+    // through its closest skeleton node vs (a unit coefficient row) with
+    // offset d^h(v, vs), against precomposed rows
+    // R[s][w] = spanner_dist(s, ws) ⊕ d^h(w, ws) — i.e.
+    // dist[v][w] = min(d^h(v, w), dvs ⊕ spanner_dist(vs, ws) ⊕ dws),
+    // exactly the Algorithm 4 label, with the |S|·n precompose replacing an
+    // n² gather over the spanner matrix.
+    let compose_rows: Vec<Vec<Weight>> = (0..skeleton.len())
         .into_par_iter()
-        .map(|v| {
+        .map(|s| {
             (0..n)
-                .map(|w| {
-                    let mut best = hop_from_node[v][w];
-                    if let (Some((vs, dvs)), Some((ws, dws))) =
-                        (closest_skeleton[v], closest_skeleton[w])
-                    {
-                        if spanner_dist[vs][ws] != INFINITY {
-                            best = best
-                                .min(dvs.saturating_add(spanner_dist[vs][ws]).saturating_add(dws));
-                        }
-                    }
-                    best
+                .map(|w| match closest_skeleton[w] {
+                    Some((ws, dws)) => spanner_dist[s][ws].saturating_add(dws),
+                    None => INFINITY,
                 })
                 .collect()
         })
         .collect();
+    let coeffs: Vec<minplus::Coeff> = (0..skeleton.len()).map(minplus::Coeff::Unit).collect();
+    let assign: Vec<minplus::Assignment> = closest_skeleton.to_vec();
+    let init: Vec<&[Weight]> = hop_from_node.iter().map(Vec::as_slice).collect();
+    let dist = minplus::compose(
+        &minplus::RowMatrix::new(compose_rows),
+        &coeffs,
+        &assign,
+        &init,
+    );
 
     ApspOutput {
         dist,
@@ -417,7 +426,7 @@ pub fn apsp_sparse_exact(net: &mut HybridNetwork, oracle: &NqOracle) -> ApspOutp
 }
 
 /// The existentially optimal comparison row of Table 2: exact weighted APSP
-/// in `Õ(√n)` rounds ([AHK+20], [KS20]).  Computes exact labels and charges
+/// in `Õ(√n)` rounds (`[AHK+20]`, `[KS20]`).  Computes exact labels and charges
 /// the published bound (`√n·log n`).
 pub fn baseline_sqrt_n_apsp(net: &mut HybridNetwork) -> ApspOutput {
     let graph = net.graph_arc();

@@ -47,7 +47,7 @@ pub struct Clustering {
     pub k: u64,
     /// Upper bound on the weak diameter of every cluster.
     ///
-    /// Lemma 3.5 guarantees `4·NQ_k·⌈log n⌉` using the [KMW18] ruling set;
+    /// Lemma 3.5 guarantees `4·NQ_k·⌈log n⌉` using the `[KMW18]` ruling set;
     /// the greedy ruling set used here has domination radius `2·NQ_k`
     /// (strictly stronger), so the bound is `4·NQ_k`.
     pub weak_diameter_bound: u64,
@@ -130,7 +130,7 @@ impl Clustering {
 /// hop distance `≥ α` and every node has a ruler within `α − 1` hops.
 ///
 /// Rulers are chosen in increasing id order, which makes the construction
-/// deterministic (the distributed implementation of [KMW18] that the paper
+/// deterministic (the distributed implementation of `[KMW18]` that the paper
 /// uses achieves `(µ+1, µ⌈log n⌉)` in `O(µ log n)` CONGEST rounds; the greedy
 /// set satisfies strictly stronger domination, and callers charge the same
 /// `O(µ log n)` rounds — see DESIGN.md, substitutions table).
@@ -171,7 +171,7 @@ pub fn cluster_by_nq(net: &mut HybridNetwork, oracle: &NqOracle, k: u64) -> Clus
 
 /// The same clustering with an explicitly prescribed radius parameter
 /// (instead of `NQ_k`).  This is how the *existentially optimal* baselines of
-/// [AHK+20]/[KS20] arise: they run the identical machinery with the
+/// `[AHK+20]`/`[KS20]` arise: they run the identical machinery with the
 /// worst-case radius `√k` (the only bound available without inspecting the
 /// topology), whereas the universal algorithms use the measured `NQ_k`.
 pub fn cluster_with_radius(net: &mut HybridNetwork, radius: u64, k: u64) -> Clustering {

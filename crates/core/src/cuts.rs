@@ -1,7 +1,7 @@
 //! Cut approximation (Theorem 9): build a cut sparsifier, broadcast it with
 //! Theorem 1, and let every node approximate all cut sizes locally.
 //!
-//! The paper uses the CONGEST spectral sparsifier of [KX16] (`Õ(n/ε²)` edges
+//! The paper uses the CONGEST spectral sparsifier of `[KX16]` (`Õ(n/ε²)` edges
 //! in `Õ(1/ε²)` rounds).  This reproduction substitutes the classical uniform
 //! sampling sparsifier of Karger: every edge is kept independently with
 //! probability `p = min(1, c·ln n / (ε²·λ))`, where `λ` is a connectivity

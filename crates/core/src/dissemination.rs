@@ -1,7 +1,7 @@
 //! Universally optimal multi-message broadcast: `k`-dissemination
 //! (Theorem 1), `k`-aggregation (Theorem 2), the uniform load-balancing
 //! primitive (Lemma 4.1) and the existentially optimal `Õ(√k)` baseline of
-//! [AHK+20] used as the comparison row of Table 1.
+//! `[AHK+20]` used as the comparison row of Table 1.
 //!
 //! # Algorithm (Theorem 1, see also Figure 2 of the paper)
 //!
@@ -38,7 +38,7 @@ pub type TokenPlacement = (NodeId, u64);
 pub enum RadiusPolicy {
     /// The universal algorithm: radius `NQ_k` (Theorem 1).
     NeighborhoodQuality,
-    /// The existential baseline: radius `min(⌈√k⌉, D)` ([AHK+20]).
+    /// The existential baseline: radius `min(⌈√k⌉, D)` (`[AHK+20]`).
     WorstCaseSqrtK,
     /// An explicitly chosen radius (used by tests and ablations).
     Fixed(u64),
@@ -117,7 +117,7 @@ pub fn k_dissemination(
     disseminate_with_radius(net, oracle, tokens, nq, RadiusPolicy::NeighborhoodQuality)
 }
 
-/// The existentially optimal baseline ([AHK+20]): the identical pipeline with
+/// The existentially optimal baseline (`[AHK+20]`): the identical pipeline with
 /// the worst-case radius `min(⌈√k⌉, D)` instead of `NQ_k`, costing `Õ(√k)`
 /// rounds on every graph.
 pub fn baseline_sqrt_k_dissemination(

@@ -1,20 +1,20 @@
 //! Helper-set machinery: the *adaptive helper sets* of Definition 5.1 /
 //! Lemma 5.2 (used by the universal `(k, ℓ)`-routing algorithm, Theorem 3)
-//! and the classical helper sets of [KS20] (Definition 9.1 / Lemma 9.2, used
+//! and the classical helper sets of `[KS20]` (Definition 9.1 / Lemma 9.2, used
 //! by the skeleton-scheduling framework of Section 9).
 //!
 //! A helper set `H_w` gives node `w` a pool of nearby nodes whose global
 //! bandwidth it can use almost exclusively, multiplying its effective
 //! communication capacity by `|H_w|`.  The *adaptive* variant sizes the pool
 //! by the graph's actual neighbourhood quality (`|H_w| ≥ k/NQ_k` within
-//! `Õ(NQ_k)` hops), whereas [KS20] can only guarantee the worst-case
+//! `Õ(NQ_k)` hops), whereas `[KS20]` can only guarantee the worst-case
 //! trade-off (`Θ̃(x)` helpers within `Θ̃(x)` hops).
 
 use std::collections::HashMap;
 
 use rand::Rng;
+use rayon::prelude::*;
 
-use hybrid_graph::traversal::bfs_bounded;
 use hybrid_graph::{Graph, NodeId};
 use hybrid_sim::HybridNetwork;
 
@@ -118,7 +118,7 @@ pub fn adaptive_helper_sets(
     }
 }
 
-/// Classical helper sets of [KS20] (Definition 9.1) for a node set `W`
+/// Classical helper sets of `[KS20]` (Definition 9.1) for a node set `W`
 /// sampled with probability `1/x`: each `w ∈ W` receives the `µ ∈ Θ̃(x)`
 /// nodes closest to it (ties by node id) as helpers.
 #[derive(Debug, Clone)]
@@ -147,8 +147,17 @@ impl Ks20HelperSets {
     }
 }
 
-/// Lemma 9.2 — computes [KS20] helper sets for `W` with parameter `x`,
+/// Lemma 9.2 — computes `[KS20]` helper sets for `W` with parameter `x`,
 /// charging `Õ(x)` local rounds.
+///
+/// The set drafted for `w` is the `µ` nodes closest to `w` (hop distance,
+/// ties by node id) within radius `µ`.  The draft runs a level-by-level BFS
+/// that **stops as soon as `µ` candidates are banked** — on low-diameter
+/// graphs this touches `Θ(µ)` nodes instead of sweeping all `n` and sorting
+/// them (the k-SSP scheduler calls this once per skeleton, so the difference
+/// is a measurable slice of `reproduce figure1`).  Selection is identical to
+/// sorting the full `µ`-ball by `(distance, id)`: BFS levels are complete
+/// distance classes, and each banked level is sorted by id.
 pub fn ks20_helper_sets(
     net: &mut HybridNetwork,
     graph: &Graph,
@@ -158,21 +167,47 @@ pub fn ks20_helper_sets(
     let x = x.max(1);
     let mu = ((x as f64) * ln_n(graph.n())).ceil() as u64;
     net.charge_local("helpers/ks20-draft", mu.max(1));
-    let mut sets = HashMap::new();
-    for &w in w_set {
-        let reach = bfs_bounded(graph, w, mu);
-        let mut candidates: Vec<(u64, NodeId)> = reach
-            .order
-            .iter()
-            .map(|&v| (reach.dist[v as usize], v))
-            .collect();
-        candidates.sort_unstable();
-        let take = (mu as usize).min(candidates.len()).max(1);
-        sets.insert(
-            w,
-            candidates.into_iter().take(take).map(|(_, v)| v).collect(),
-        );
-    }
+    let drafted: Vec<(NodeId, Vec<NodeId>)> = w_set
+        .par_iter()
+        .map_init(
+            || (vec![false; graph.n()], Vec::new(), Vec::new()),
+            |(seen, frontier, next), &w| {
+                // Level-synchronous BFS banking whole distance classes until
+                // µ candidates (or radius µ) are reached.
+                let mut helpers: Vec<NodeId> = Vec::with_capacity(mu as usize + 8);
+                frontier.clear();
+                frontier.push(w);
+                seen[w as usize] = true;
+                let mut touched: Vec<NodeId> = vec![w];
+                let mut depth = 0u64;
+                while !frontier.is_empty() && depth <= mu && (helpers.len() as u64) < mu {
+                    let level_start = helpers.len();
+                    helpers.extend_from_slice(frontier);
+                    helpers[level_start..].sort_unstable();
+                    next.clear();
+                    if depth < mu && (helpers.len() as u64) < mu {
+                        for &v in frontier.iter() {
+                            for a in graph.arcs(v) {
+                                if !seen[a.to as usize] {
+                                    seen[a.to as usize] = true;
+                                    touched.push(a.to);
+                                    next.push(a.to);
+                                }
+                            }
+                        }
+                    }
+                    std::mem::swap(frontier, next);
+                    depth += 1;
+                }
+                for v in touched {
+                    seen[v as usize] = false;
+                }
+                helpers.truncate((mu as usize).max(1));
+                (w, helpers)
+            },
+        )
+        .collect();
+    let sets: HashMap<NodeId, Vec<NodeId>> = drafted.into_iter().collect();
     Ks20HelperSets { sets, mu }
 }
 
@@ -272,6 +307,34 @@ mod tests {
         if !w.is_empty() {
             assert!(sets.min_size() >= 1);
             assert!(sets.max_membership(g.n()) >= 1);
+        }
+    }
+
+    #[test]
+    fn ks20_early_stop_draft_matches_full_ball_sort() {
+        // Reference: explore the whole µ-ball, sort by (distance, id), take µ
+        // — the pre-optimization implementation.
+        for (g, x) in [
+            (generators::grid(&[9, 9]).unwrap(), 3u64),
+            (generators::path(70).unwrap(), 2),
+            (generators::tree_with_n(2, 60).unwrap(), 4),
+        ] {
+            let w_set: Vec<NodeId> = (0..g.n() as NodeId).step_by(7).collect();
+            let mut net = HybridNetwork::hybrid(Arc::new(g.clone()));
+            let sets = ks20_helper_sets(&mut net, &g, &w_set, x);
+            for &w in &w_set {
+                let reach = hybrid_graph::traversal::bfs_bounded(&g, w, sets.mu);
+                let mut candidates: Vec<(u64, NodeId)> = reach
+                    .order
+                    .iter()
+                    .map(|&v| (reach.dist[v as usize], v))
+                    .collect();
+                candidates.sort_unstable();
+                let take = (sets.mu as usize).min(candidates.len()).max(1);
+                let reference: Vec<NodeId> =
+                    candidates.into_iter().take(take).map(|(_, v)| v).collect();
+                assert_eq!(sets.sets[&w], reference, "w = {w}");
+            }
         }
     }
 

@@ -8,6 +8,14 @@
 //! distance to every target; the situation is then "reversed" by delivering
 //! one message per `(s, t)` pair with the `(k, ℓ)`-routing algorithm
 //! (Theorem 3).
+//!
+//! **Data level.**  Case (2)'s ℓ-SSP step is the Theorem 14 label
+//! composition with the targets as sources, so it runs on the shared blocked
+//! `(min, +)` kernel ([`crate::minplus`]) through
+//! [`crate::kssp::kssp`]; case (1) quantizes exact per-target labels
+//! directly.  Either way the final assembly is a pure gather of the source
+//! columns out of the target label rows — no further composition happens
+//! here.
 
 use rand::Rng;
 
@@ -170,7 +178,7 @@ pub fn klsp(
 
 /// The existential comparison row of Table 3: `(k, ℓ)`-SP by solving `k`-SSP
 /// with the prior `Õ(√k)`-type machinery; exact labels, rounds
-/// `Õ(n^{1/3} + √k)` ([CHLP21a], [KS20]).
+/// `Õ(n^{1/3} + √k)` (`[CHLP21a]`, `[KS20]`).
 pub fn baseline_klsp(
     net: &mut HybridNetwork,
     sources: &[NodeId],

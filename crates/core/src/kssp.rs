@@ -1,6 +1,6 @@
 //! Existentially optimal `k`-source shortest paths (Theorem 14, Section 9):
 //! scheduling `k` instances of the Theorem 13 SSSP algorithm on a skeleton
-//! graph with the help of [KS20]-style helper sets (Lemma 9.3), matching the
+//! graph with the help of `[KS20]`-style helper sets (Lemma 9.3), matching the
 //! `Ω̃(√(k/γ))` lower bound for every `k`.
 //!
 //! Three regimes, as in Theorem 14:
@@ -13,7 +13,7 @@
 //!   *proxy source*; composing through the proxy costs a factor 3:
 //!   stretch `3(1+ε)` in `Õ(√(k/γ)/ε²)` rounds.
 //!
-//! The comparison row for Figure 1 (`Õ(n^{1/3} + √k)` of [CHLP21a]) is
+//! The comparison row for Figure 1 (`Õ(n^{1/3} + √k)` of `[CHLP21a]`) is
 //! provided by [`baseline_chlp21_rounds`].
 
 use rand::Rng;
@@ -24,6 +24,7 @@ use hybrid_graph::{NodeId, Weight, INFINITY};
 use hybrid_sim::HybridNetwork;
 
 use crate::helpers::ks20_helper_sets;
+use crate::minplus::{self, Assignment, Coeff};
 use crate::skeleton::{build_skeleton, SkeletonGraph};
 use crate::sssp::{quantize_distance, sssp_round_cost};
 
@@ -193,7 +194,29 @@ pub fn kssp(
     }
 }
 
-/// Computes the distance labels of Lemma 9.4 / Theorem 14.
+/// Computes the distance labels of Lemma 9.4 / Theorem 14:
+///
+/// ```text
+/// label[i][v] = min( d^h(sᵢ, v),
+///                    offsetᵢ ⊕ min_j ( q(d_S(aᵢ, j)) ⊕ d^h(j, v) ) )
+/// ```
+///
+/// where `aᵢ` is source `i`'s (proxy) anchor on the skeleton, `d_S` the
+/// skeleton-graph distance, `q` the `(1+ε)` quantization, and the `d^h` rows
+/// are the skeleton's stored `h`-hop sweeps ([`SkeletonGraph::rows`], paid
+/// once at construction).  The composition runs on the shared blocked
+/// `(min, +)` kernel ([`crate::minplus`]), with two exact fast paths:
+///
+/// * **Converged sweeps skip the metric closure** (Lemma 6.3): when every
+///   skeleton sweep reached its Bellman–Ford fixpoint, the rows already hold
+///   exact distances and the skeleton-SSSP step degenerates to reading them
+///   back (the triangle inequality makes the direct edge optimal), so no
+///   Dijkstra runs at all.
+/// * **An exact initial row dominates the composition**: every composed
+///   candidate is a sum of distance overestimates along a path through the
+///   anchor, hence `≥ d(sᵢ, v)`.  A source whose own sweep converged keeps
+///   its row verbatim and skips the kernel.  Both fast paths produce
+///   bit-identical labels to the full composition.
 fn compute_labels(
     graph: &hybrid_graph::Graph,
     skeleton: &SkeletonGraph,
@@ -202,116 +225,111 @@ fn compute_labels(
     variant: KsspVariant,
 ) -> Vec<Vec<Weight>> {
     let h = skeleton.h as usize;
+    let srows = &skeleton.rows;
 
-    // h-hop-limited distances from every skeleton node to every node of G
-    // (what h rounds of local flooding give each node about nearby skeletons).
-    // Parallel fan-out with per-worker relaxation buffers.
-    let from_skeleton: Vec<Vec<Weight>> = skeleton
-        .nodes
-        .par_iter()
-        .map_init(HopLimitedWorkspace::new, |ws, &u| {
-            let mut row = Vec::new();
-            hop_limited_distances_with(ws, graph, u, h, &mut row);
-            row
-        })
-        .collect();
-
-    // For each source: its skeleton node (itself, or its closest proxy).
-    let source_anchor: Vec<(usize, Weight)> = sources
-        .iter()
-        .map(|&s| {
-            if skeleton.contains(s) {
-                (skeleton.index_of[s as usize], 0)
-            } else {
-                // Proxy: the skeleton node minimizing d_h(s, u).
-                let mut best = (0usize, INFINITY);
-                for (j, d) in from_skeleton.iter().enumerate() {
-                    if d[s as usize] < best.1 {
-                        best = (j, d[s as usize]);
-                    }
-                }
-                best
-            }
-        })
-        .collect();
-
-    // Skeleton-graph SSSP (Theorem 13 instances scheduled by Lemma 9.3),
-    // quantized by the allowed error.  One run per distinct anchor, parallel.
-    let mut anchors: Vec<usize> = source_anchor.iter().map(|&(a, _)| a).collect();
-    anchors.sort_unstable();
-    anchors.dedup();
-    let anchor_rows: Vec<(usize, Vec<Weight>)> = anchors
-        .par_iter()
-        .map_init(DijkstraWorkspace::new, |ws, &a| {
-            ws.run(&skeleton.graph, a as NodeId);
-            let row = ws
-                .dist()
-                .iter()
-                .map(|&d| quantize_distance(d, epsilon))
-                .collect();
-            (a, row)
-        })
-        .collect();
-    let skeleton_dist: std::collections::HashMap<usize, Vec<Weight>> =
-        anchor_rows.into_iter().collect();
-
-    // Direct h-hop distances from the sources themselves (needed for nodes
-    // whose shortest path to the source is shorter than h hops).  A source
-    // that is itself a skeleton node (always, in the random-sources regime)
-    // already has its row in `from_skeleton` — only the others get a fresh
-    // sweep.
-    let direct: Vec<Option<Vec<Weight>>> = sources
+    // Direct h-hop sweeps for the sources that are not skeleton nodes (a
+    // skeleton source's sweep is already a stored row).  Parallel fan-out
+    // with per-worker relaxation buffers; each sweep reports convergence.
+    let direct: Vec<Option<(Vec<Weight>, bool)>> = sources
         .par_iter()
         .map_init(HopLimitedWorkspace::new, |ws, &s| {
             if skeleton.contains(s) {
                 None
             } else {
                 let mut row = Vec::new();
-                hop_limited_distances_with(ws, graph, s, h, &mut row);
-                Some(row)
+                let converged = hop_limited_distances_with(ws, graph, s, h, &mut row);
+                Some((row, converged))
             }
         })
         .collect();
 
-    (0..sources.len())
-        .into_par_iter()
-        .map(|i| {
-            let (anchor, anchor_offset) = source_anchor[i];
-            let sk_d = &skeleton_dist[&anchor];
-            let offset = if matches!(variant, KsspVariant::ArbitrarySources) {
-                anchor_offset
+    // Initial row per source: its own h-hop knowledge, and whether that row
+    // is exact (the dominance fast path above).
+    let init: Vec<&[Weight]> = (0..sources.len())
+        .map(|i| match &direct[i] {
+            Some((row, _)) => row.as_slice(),
+            None => srows.row(skeleton.index_of[sources[i] as usize]),
+        })
+        .collect();
+    let exact_init: Vec<bool> = (0..sources.len())
+        .map(|i| match &direct[i] {
+            Some((_, converged)) => *converged,
+            None => skeleton.converged,
+        })
+        .collect();
+
+    // For each source that still needs the composition: its skeleton node
+    // (itself, or the proxy minimizing d^h(s, ·) over the skeleton).  Sources
+    // on the exact-init fast path skip the O(|S|) proxy column gather — their
+    // anchor would be discarded anyway.
+    let source_anchor: Vec<Option<(usize, Weight)>> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            if exact_init[i] {
+                None
+            } else if skeleton.contains(s) {
+                Some((skeleton.index_of[s as usize], 0))
             } else {
-                0
-            };
-            // min over skeleton nodes j of d_h(j, v) + d_skel(anchor, j)
-            // (+ proxy offset), with the skeleton loop *outside* the node
-            // loop: each from_skeleton row streams sequentially instead of
-            // striding column-wise through |skeleton| rows per node.
-            let mut best = match &direct[i] {
-                Some(row) => row.clone(),
-                None => from_skeleton[skeleton.index_of[sources[i] as usize]].clone(),
-            };
-            for (j, from_row) in from_skeleton.iter().enumerate() {
-                if sk_d[j] == INFINITY {
-                    continue;
-                }
-                let base = sk_d[j].saturating_add(offset);
-                for (b, &via) in best.iter_mut().zip(from_row) {
-                    // An INFINITY `via` saturates to u64::MAX and loses the
-                    // min — no reachability branch needed in the hot loop.
-                    let candidate = via.saturating_add(base);
-                    if candidate < *b {
-                        *b = candidate;
+                let mut best = (0usize, INFINITY);
+                for j in 0..srows.len() {
+                    let d = srows.row(j)[s as usize];
+                    if d < best.1 {
+                        best = (j, d);
                     }
                 }
+                Some(best)
             }
-            best
         })
-        .collect()
+        .collect();
+
+    // Skeleton SSSP (Theorem 13 instances scheduled by Lemma 9.3), quantized
+    // by the allowed error — one coefficient row per distinct anchor of the
+    // non-shortcut sources.  With converged sweeps this is a read-back of the
+    // stored rows; otherwise a dense Dijkstra over the skeleton metric
+    // (identical distances to a run on the explicit skeleton graph, without
+    // materializing its Θ(|S|²) edges).
+    let mut anchors: Vec<usize> = source_anchor.iter().flatten().map(|&(a, _)| a).collect();
+    anchors.sort_unstable();
+    anchors.dedup();
+    let coeffs: Vec<Coeff> = anchors
+        .par_iter()
+        .map(|&a| {
+            let row: Vec<Weight> = if skeleton.converged {
+                let exact = srows.row(a);
+                skeleton
+                    .nodes
+                    .iter()
+                    .map(|&u| quantize_distance(exact[u as usize], epsilon))
+                    .collect()
+            } else {
+                skeleton
+                    .sssp(a)
+                    .into_iter()
+                    .map(|d| quantize_distance(d, epsilon))
+                    .collect()
+            };
+            Coeff::Dense(row)
+        })
+        .collect();
+    let group_of = |anchor: usize| anchors.binary_search(&anchor).expect("anchor registered");
+
+    let assign: Vec<Assignment> = source_anchor
+        .iter()
+        .map(|entry| {
+            let (anchor, anchor_offset) = (*entry)?;
+            let offset = match variant {
+                KsspVariant::ArbitrarySources => anchor_offset,
+                KsspVariant::RandomSources => 0,
+            };
+            Some((group_of(anchor), offset))
+        })
+        .collect();
+    minplus::compose(srows, &coeffs, &assign, &init)
 }
 
 /// The round bound of the prior state of the art for `k`-SSP
-/// ([CHLP21a] / [KS20]): `Õ(n^{1/3} + √k)`, the gray reference curve of
+/// (`[CHLP21a]` / `[KS20]`): `Õ(n^{1/3} + √k)`, the gray reference curve of
 /// Figure 1.  A single `log n` factor stands in for the `Õ(·)`.
 pub fn baseline_chlp21_rounds(n: usize, k: usize) -> u64 {
     let n_f = n.max(2) as f64;
@@ -319,7 +337,7 @@ pub fn baseline_chlp21_rounds(n: usize, k: usize) -> u64 {
     (((n_f.powf(1.0 / 3.0) + (k.max(1) as f64).sqrt()) * log_n).ceil() as u64).max(1)
 }
 
-/// The existential lower bound `Ω̃(√(k/γ))` for `k`-SSP ([KS20], [Sch23]),
+/// The existential lower bound `Ω̃(√(k/γ))` for `k`-SSP (`[KS20]`, `[Sch23]`),
 /// evaluated with constant 1 (the shaded region of Figure 1).
 pub fn kssp_lower_bound_rounds(k: usize, gamma: usize) -> u64 {
     (((k.max(1) as f64) / (gamma.max(1) as f64)).sqrt().floor() as u64).max(1)

@@ -24,8 +24,10 @@
 //!   as computable witness values — [`lower_bounds`];
 //! * the **Broadcast Congested Clique simulation** of Corollary 2.1 —
 //!   [`bcc`];
-//! * supporting machinery: probabilistic tools (Appendix A) and κ-wise
-//!   independent hashing — [`prob`], [`hashing`].
+//! * supporting machinery: probabilistic tools (Appendix A), κ-wise
+//!   independent hashing, and the shared blocked `(min, +)` composition
+//!   kernel behind the k-SSP / `(k, ℓ)`-SP / Theorem 8 data levels —
+//!   [`prob`], [`hashing`], [`minplus`].
 //!
 //! Every algorithm returns both its *solution* (verified by the test suite
 //! against exact oracles) and a round/message cost trace produced by the
@@ -46,6 +48,7 @@ pub mod klsp;
 pub mod kssp;
 pub mod lower_bounds;
 pub mod minor_aggregation;
+pub mod minplus;
 pub mod nq;
 pub mod overlay;
 pub mod prob;

@@ -1,7 +1,7 @@
 //! The Minor-Aggregation interface model (Section 8) and the Eulerian
 //! orientation oracle `O_Euler` (Section 8.2).
 //!
-//! [RGH+22] show that a `(1+ε)`-approximation of SSSP reduces to `Õ(1/ε²)`
+//! `[RGH+22]` show that a `(1+ε)`-approximation of SSSP reduces to `Õ(1/ε²)`
 //! rounds of the *Minor-Aggregation* model plus calls to an oracle that
 //! orients the edges of an Eulerian subgraph so that every node has equal in-
 //! and out-degree.  The paper's Theorem 13 follows by implementing both in
@@ -15,6 +15,31 @@
 //! * [`eulerian_orientation`] — an actual Eulerian-orientation algorithm
 //!   (cycle peeling over an Eulerian partition of the edge set), the result
 //!   the `Õ(1)`-round distributed implementation of Lemma 8.6 produces.
+//!
+//! # How a Minor-Aggregation round maps onto `Hybrid0`
+//!
+//! One interface round does three things ([`MinorAggregation::round`]):
+//!
+//! 1. **Contract** — the caller marks a subset of local edges; the connected
+//!    components of the marked subgraph become *supernodes*
+//!    ([`MinorAggregation::supernode_of`] maps each node to the minimum id of
+//!    its component, the representative the distributed implementation
+//!    elects).
+//! 2. **Consensus** — every node contributes an `Õ(1)`-bit input; within each
+//!    supernode the inputs are folded with the caller's associative operator
+//!    and the result is known to all members
+//!    ([`MinorAggregation::consensus`]).
+//! 3. **Charge** — Lemma 8.2 implements both steps with one overlay tree per
+//!    supernode ([`crate::overlay`]) in `Õ(1)` `Hybrid0` rounds; the
+//!    simulator charges exactly that (`minor-aggregation/round` cost-trace
+//!    entry).
+//!
+//! The SSSP algorithm of Theorem 13 ([`crate::sssp`]) consumes this
+//! interface `Õ(1/ε²)` times, interleaved with `O_Euler` calls on the
+//! (Eulerian) support of a flow; [`eulerian_orientation`] peels cycles
+//! Hierholzer-style, which is precisely the orientation the distributed
+//! Lemma 8.6 implementation converges to, and panics on non-Eulerian input
+//! (every node must have even degree).
 
 use hybrid_graph::{EdgeId, Graph, NodeId};
 use hybrid_sim::HybridNetwork;

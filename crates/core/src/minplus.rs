@@ -1,0 +1,488 @@
+//! Shared blocked `(min, +)` composition kernel for the shortest-paths data
+//! level.
+//!
+//! Several algorithms of the paper end their *data level* with the same
+//! algebraic step: every output row is the `(min, +)` product of a
+//! coefficient row against a shared right-hand-side matrix of `h`-hop
+//! distance rows, folded into an initial row —
+//!
+//! ```text
+//! out[i][v] = min( init[i][v],
+//!                  offset_i ⊕ min_j ( coeff_i[j] ⊕ rows[j][v] ) )
+//! ```
+//!
+//! where `⊕` is **saturating** `u64` addition (so [`INFINITY`] absorbs: an
+//! unreachable entry can never win a minimum against a finite candidate).
+//! Concretely:
+//!
+//! * `k`-SSP label composition (Theorem 14, Lemma 9.4): `rows` are the
+//!   `h`-hop distance rows of the skeleton nodes, `coeff_i` the quantized
+//!   skeleton distances from source `i`'s (proxy) anchor, `offset_i` the
+//!   source-to-proxy distance — `crate::kssp`;
+//! * the `(k, ℓ)`-SP data level (Theorem 5, case 2) runs the same
+//!   composition with the targets as sources — `crate::klsp` via
+//!   `crate::kssp`;
+//! * weighted skeleton APSP (Theorem 8 / Algorithm 4, Table 2): every node
+//!   composes through its closest skeleton node, a [`Coeff::Unit`]
+//!   coefficient row — `crate::apsp`.
+//!
+//! # Kernel layout
+//!
+//! [`compose`] evaluates the product in two phases:
+//!
+//! 1. **Anchor grouping.**  Output rows that share a coefficient row (`k`
+//!    sources behind the same proxy anchor; all nodes of a Theorem 8 cluster)
+//!    are grouped, and the inner reduction `A_g[v] = min_j (coeff_g[j] ⊕
+//!    rows[j][v])` is evaluated **once per group** instead of once per output
+//!    row.  Phase 2 only folds `A_g ⊕ offset_i` into each member's initial
+//!    row, which is `O(n)` per row.
+//! 2. **Blocked tiles, register-tiled skeleton loop.**  Within a group the
+//!    columns are processed in cache-sized tiles of [`COLUMN_TILE`] entries
+//!    (the accumulator tile stays in L1 while the skeleton rows stream), and
+//!    the skeleton loop is register-tiled by [`ROW_TILE`]: one pass loads
+//!    `ROW_TILE` row pointers plus their bases and performs a single
+//!    load/store of the accumulator per column for all of them.
+//! 3. **Finite-span skipping.**  `h`-hop rows are [`INFINITY`] outside the
+//!    `h`-hop ball of their skeleton node; [`RowMatrix`] records the
+//!    `(start, end)` range of finite entries per row once, and the kernel
+//!    streams only the intersection of that span with the current tile.  On
+//!    large-diameter graphs (paths, cycles, grids) this turns the dense
+//!    `|S| · n` inner phase into work proportional to the total finite mass.
+//!
+//! # Saturation contract
+//!
+//! All additions saturate at `u64::MAX` (`== INFINITY`), so the kernel is
+//! total: coefficients, offsets and row entries may all be `INFINITY` and an
+//! absent term simply loses every `min`.  Because saturating addition of
+//! non-negative integers is associative and commutative, and `min` commutes
+//! with adding a constant, the blocked evaluation order is **bit-identical**
+//! to the naive triple loop ([`compose_naive`]) — the property test
+//! `tests/property_tests.rs::minplus_kernel_matches_naive_reference` pins
+//! this, and the parallel fan-out over groups keeps output order
+//! index-deterministic, so results do not depend on `RAYON_NUM_THREADS`.
+
+use rayon::prelude::*;
+
+use hybrid_graph::{Weight, INFINITY};
+
+/// Columns per accumulator tile (`COLUMN_TILE · 8` bytes = 16 KiB — half a
+/// typical L1d cache, leaving room for the streaming skeleton rows).
+pub const COLUMN_TILE: usize = 2048;
+
+/// Skeleton rows folded per accumulator pass (register tiling depth): enough
+/// to amortize the accumulator load/store, small enough that the row
+/// pointers, bases and bounds live in registers.
+///
+/// This is **fixed at 4** by the unrolled quad loop in the reduction (the
+/// `c01`/`c23` pairing); it is exposed for documentation, not as a tuning
+/// knob — a compile-time assertion ties the two together.
+pub const ROW_TILE: usize = 4;
+const _: () = assert!(ROW_TILE == 4, "the reduction quad loop is unrolled 4-wide");
+
+/// The shared right-hand side of a composition: a `|S| × n` matrix of
+/// distance rows together with the `(start, end)` span of finite entries of
+/// every row.
+///
+/// Rows are typically `h`-hop-limited distance sweeps
+/// ([`hybrid_graph::dijkstra::hop_limited_distances_with`]) from each
+/// skeleton node, which are `INFINITY` outside the node's `h`-hop ball; the
+/// spans let the kernel skip those runs wholesale.
+#[derive(Debug, Clone, Default)]
+pub struct RowMatrix {
+    rows: Vec<Vec<Weight>>,
+    /// Half-open `[start, end)` range of finite entries per row (`(0, 0)` for
+    /// an all-`INFINITY` row).
+    spans: Vec<(usize, usize)>,
+    ncols: usize,
+}
+
+impl RowMatrix {
+    /// Wraps `rows` (all of equal length), computing the finite span of each
+    /// row once.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn new(rows: Vec<Vec<Weight>>) -> Self {
+        let ncols = rows.first().map_or(0, Vec::len);
+        let spans = rows
+            .iter()
+            .map(|row| {
+                assert_eq!(row.len(), ncols, "ragged row matrix");
+                let start = row.iter().position(|&d| d != INFINITY);
+                match start {
+                    None => (0, 0),
+                    Some(s) => {
+                        let e = row.iter().rposition(|&d| d != INFINITY).unwrap_or(s);
+                        (s, e + 1)
+                    }
+                }
+            })
+            .collect();
+        RowMatrix { rows, spans, ncols }
+    }
+
+    /// Number of rows `|S|`.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of columns `n`.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// The `j`-th row.
+    pub fn row(&self, j: usize) -> &[Weight] {
+        &self.rows[j]
+    }
+
+    /// The finite `[start, end)` span of the `j`-th row.
+    pub fn span(&self, j: usize) -> (usize, usize) {
+        self.spans[j]
+    }
+
+    /// The underlying rows.
+    pub fn rows(&self) -> &[Vec<Weight>] {
+        &self.rows
+    }
+
+    /// Consumes the matrix, returning the rows.
+    pub fn into_rows(self) -> Vec<Vec<Weight>> {
+        self.rows
+    }
+}
+
+/// A coefficient row against a [`RowMatrix`].
+#[derive(Debug, Clone)]
+pub enum Coeff {
+    /// A dense coefficient row of length `|S|` (entries may be `INFINITY`,
+    /// which drops the corresponding skeleton row from the reduction).
+    Dense(Vec<Weight>),
+    /// The unit coefficient row `e_j` (`0` at position `j`, `INFINITY`
+    /// elsewhere): the reduction collapses to row `j` itself.  Used by the
+    /// Theorem 8 APSP composition, where every node composes through exactly
+    /// its closest skeleton node.
+    Unit(usize),
+}
+
+/// One (group index, offset) assignment per output row; `None` leaves the
+/// initial row untouched.
+pub type Assignment = Option<(usize, Weight)>;
+
+#[inline(always)]
+fn sat(a: Weight, b: Weight) -> Weight {
+    a.saturating_add(b)
+}
+
+/// The active slice of one skeleton row within the current reduction: its
+/// base coefficient and finite span.
+struct ActiveRow<'a> {
+    row: &'a [Weight],
+    base: Weight,
+    lo: usize,
+    hi: usize,
+}
+
+/// Phase 1 for one group: `acc[v] = min_j (coeff[j] ⊕ rows[j][v])`.
+///
+/// A [`Coeff::Unit`] group collapses to its row verbatim (base 0 inside the
+/// finite span, `INFINITY` outside — exactly the stored row), so it is
+/// returned borrowed; only dense groups allocate an accumulator.
+fn reduce_group<'a>(rows: &'a RowMatrix, coeff: &Coeff) -> std::borrow::Cow<'a, [Weight]> {
+    let n = rows.ncols();
+    // Collect the active rows (finite coefficient, non-empty span) once.
+    let actives: Vec<ActiveRow> = match coeff {
+        Coeff::Unit(j) => {
+            return std::borrow::Cow::Borrowed(rows.row(*j));
+        }
+        Coeff::Dense(c) => {
+            assert_eq!(c.len(), rows.len(), "coefficient row length != |S|");
+            c.iter()
+                .enumerate()
+                .filter(|&(_, &b)| b != INFINITY)
+                .filter_map(|(j, &base)| {
+                    let (lo, hi) = rows.span(j);
+                    (lo < hi).then(|| ActiveRow {
+                        row: rows.row(j),
+                        base,
+                        lo,
+                        hi,
+                    })
+                })
+                .collect()
+        }
+    };
+    let mut acc = vec![INFINITY; n];
+    let mut tile_lo = 0;
+    while tile_lo < n {
+        let tile_hi = (tile_lo + COLUMN_TILE).min(n);
+        let mut chunks = actives.chunks_exact(ROW_TILE);
+        for quad in chunks.by_ref() {
+            let [a0, a1, a2, a3] = quad else {
+                unreachable!()
+            };
+            // Joint register-tiled pass over the intersection of the four
+            // spans; the parts covered by only some of the rows fall back to
+            // the single-row loop.
+            let lo = a0.lo.max(a1.lo).max(a2.lo).max(a3.lo).max(tile_lo);
+            let hi = a0.hi.min(a1.hi).min(a2.hi).min(a3.hi).min(tile_hi);
+            if lo < hi {
+                for a in quad {
+                    reduce_single(&mut acc, a, tile_lo, lo);
+                    reduce_single(&mut acc, a, hi, tile_hi);
+                }
+                let (r0, r1, r2, r3) = (a0.row, a1.row, a2.row, a3.row);
+                let (b0, b1, b2, b3) = (a0.base, a1.base, a2.base, a3.base);
+                for v in lo..hi {
+                    let c01 = sat(r0[v], b0).min(sat(r1[v], b1));
+                    let c23 = sat(r2[v], b2).min(sat(r3[v], b3));
+                    let c = c01.min(c23);
+                    if c < acc[v] {
+                        acc[v] = c;
+                    }
+                }
+            } else {
+                for a in quad {
+                    reduce_single(&mut acc, a, tile_lo, tile_hi);
+                }
+            }
+        }
+        for a in chunks.remainder() {
+            reduce_single(&mut acc, a, tile_lo, tile_hi);
+        }
+        tile_lo = tile_hi;
+    }
+    std::borrow::Cow::Owned(acc)
+}
+
+/// Single-row reduction over `acc[lo..hi] ∩` the row's finite span.
+#[inline]
+fn reduce_single(acc: &mut [Weight], a: &ActiveRow, lo: usize, hi: usize) {
+    let lo = lo.max(a.lo);
+    let hi = hi.min(a.hi);
+    if lo >= hi {
+        return;
+    }
+    for (slot, &via) in acc[lo..hi].iter_mut().zip(&a.row[lo..hi]) {
+        let c = sat(via, a.base);
+        if c < *slot {
+            *slot = c;
+        }
+    }
+}
+
+/// Blocked `(min, +)` composition (see the module docs for the layout).
+///
+/// Returns fresh output rows with the composition folded into the initial
+/// rows: `out[i][v] = min(init[i][v], offset_i ⊕ min_j (coeff_{g(i)}[j] ⊕
+/// rows[j][v]))` for every row with `assign[i] = Some((g(i), offset_i))`;
+/// rows assigned `None` are copied through unchanged.
+///
+/// Coefficient rows in `coeffs` are shared: every output row naming group `g`
+/// reuses the phase-1 reduction of `coeffs[g]`.  Results are bit-identical to
+/// [`compose_naive`] and independent of the thread count.
+///
+/// # Panics
+/// Panics if `assign.len() != init.len()`, a group index is out of range, a
+/// dense coefficient row's length differs from `rows.len()`, or a composed
+/// initial row's length differs from `rows.ncols()` (when `rows` is
+/// non-empty).
+pub fn compose(
+    rows: &RowMatrix,
+    coeffs: &[Coeff],
+    assign: &[Assignment],
+    init: &[&[Weight]],
+) -> Vec<Vec<Weight>> {
+    assert_eq!(assign.len(), init.len(), "one assignment per output row");
+    // Phase 1: one reduction per *referenced* coefficient row, in parallel.
+    let mut used = vec![false; coeffs.len()];
+    for a in assign.iter().flatten() {
+        used[a.0] = true;
+    }
+    let anchor_rows: Vec<Option<std::borrow::Cow<[Weight]>>> = (0..coeffs.len())
+        .into_par_iter()
+        .map(|g| used[g].then(|| reduce_group(rows, &coeffs[g])))
+        .collect();
+    // Phase 2: fold each member's anchor row (plus offset) into its initial
+    // row — O(n) per output row, parallel over rows, index-deterministic.
+    (0..init.len())
+        .into_par_iter()
+        .map(|i| {
+            let mut out = init[i].to_vec();
+            let Some((g, offset)) = assign[i] else {
+                return out;
+            };
+            let anchor = anchor_rows[g].as_deref().expect("used group reduced");
+            if !rows.is_empty() {
+                assert_eq!(out.len(), rows.ncols(), "initial row length != n");
+            }
+            for (o, &a) in out.iter_mut().zip(anchor) {
+                let c = sat(a, offset);
+                if c < *o {
+                    *o = c;
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// Reference implementation of [`compose`]: the naive triple loop, kept
+/// deliberately simple (no spans, no tiling, no grouping) as the equivalence
+/// oracle for the property tests and as executable documentation of the
+/// kernel's contract.
+pub fn compose_naive(
+    rows: &RowMatrix,
+    coeffs: &[Coeff],
+    assign: &[Assignment],
+    init: &[&[Weight]],
+) -> Vec<Vec<Weight>> {
+    assert_eq!(assign.len(), init.len(), "one assignment per output row");
+    let mut result: Vec<Vec<Weight>> = init.iter().map(|r| r.to_vec()).collect();
+    for (i, out) in result.iter_mut().enumerate() {
+        let Some((g, offset)) = assign[i] else {
+            continue;
+        };
+        let dense;
+        let coeff: &[Weight] = match &coeffs[g] {
+            Coeff::Dense(c) => c,
+            Coeff::Unit(j) => {
+                let mut e = vec![INFINITY; rows.len()];
+                e[*j] = 0;
+                dense = e;
+                &dense
+            }
+        };
+        for (j, &base) in coeff.iter().enumerate() {
+            let row = rows.row(j);
+            for (o, &via) in out.iter_mut().zip(row) {
+                let c = via.saturating_add(base).saturating_add(offset);
+                if c < *o {
+                    *o = c;
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: Vec<Vec<Weight>>) -> RowMatrix {
+        RowMatrix::new(rows)
+    }
+
+    fn refs(init: &[Vec<Weight>]) -> Vec<&[Weight]> {
+        init.iter().map(Vec::as_slice).collect()
+    }
+
+    #[test]
+    fn spans_skip_infinity_runs() {
+        let m = matrix(vec![
+            vec![INFINITY, 3, INFINITY, 5, INFINITY],
+            vec![INFINITY; 5],
+            vec![1, 2, 3, 4, 5],
+        ]);
+        assert_eq!(m.span(0), (1, 4));
+        assert_eq!(m.span(1), (0, 0));
+        assert_eq!(m.span(2), (0, 5));
+    }
+
+    #[test]
+    fn compose_matches_naive_on_small_instance() {
+        let m = matrix(vec![
+            vec![0, 2, 9, INFINITY],
+            vec![2, 0, 1, 7],
+            vec![INFINITY, 1, 0, 3],
+        ]);
+        let coeffs = vec![
+            Coeff::Dense(vec![0, 2, INFINITY]),
+            Coeff::Dense(vec![INFINITY, 1, 4]),
+            Coeff::Unit(2),
+        ];
+        let assign: Vec<Assignment> = vec![
+            Some((0, 0)),
+            Some((1, 5)),
+            Some((2, 1)),
+            None,
+            Some((0, INFINITY)),
+        ];
+        let init = vec![
+            vec![1, INFINITY, INFINITY, INFINITY],
+            vec![INFINITY; 4],
+            vec![9, 9, 9, 9],
+            vec![7, 7, 7, 7],
+            vec![4, 4, 4, 4],
+        ];
+        let blocked = compose(&m, &coeffs, &assign, &refs(&init));
+        let naive = compose_naive(&m, &coeffs, &assign, &refs(&init));
+        assert_eq!(blocked, naive);
+        // Spot checks: row 0 composes through coeff 0 with offset 0.
+        assert_eq!(blocked[0], vec![0, 2, 3, 9]);
+        // Row 3 passes through; row 4's INFINITY offset saturates every term.
+        assert_eq!(blocked[3], vec![7, 7, 7, 7]);
+        assert_eq!(blocked[4], vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn register_tiling_covers_more_rows_than_the_tile() {
+        // > ROW_TILE rows with staggered spans exercises the quad loop, the
+        // head/tail single-row paths and the remainder loop together.
+        let n = 40;
+        let rows: Vec<Vec<Weight>> = (0..11u64)
+            .map(|j| {
+                (0..n)
+                    .map(|v| {
+                        let lo = (j as usize) * 2;
+                        let hi = n - (j as usize);
+                        if v >= lo && v < hi {
+                            (v as Weight) + j
+                        } else {
+                            INFINITY
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let m = matrix(rows);
+        let coeffs = vec![Coeff::Dense((0..11u64).map(|j| j % 3).collect())];
+        let assign: Vec<Assignment> = vec![Some((0, 2))];
+        let init = vec![vec![INFINITY; n]];
+        assert_eq!(
+            compose(&m, &coeffs, &assign, &refs(&init)),
+            compose_naive(&m, &coeffs, &assign, &refs(&init))
+        );
+    }
+
+    #[test]
+    fn empty_matrix_and_empty_assignments() {
+        let m = matrix(Vec::new());
+        let init = vec![vec![1, 2], vec![3, 4]];
+        let out = compose(&m, &[], &[None, None], &refs(&init));
+        assert_eq!(out, vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn saturation_never_underflows_the_min() {
+        let m = matrix(vec![vec![Weight::MAX - 1, INFINITY]]);
+        let coeffs = vec![Coeff::Dense(vec![Weight::MAX - 1])];
+        let assign: Vec<Assignment> = vec![Some((0, Weight::MAX - 1))];
+        let init = vec![vec![Weight::MAX - 1, Weight::MAX - 1]];
+        let out = compose(&m, &coeffs, &assign, &refs(&init));
+        // Every candidate saturates to INFINITY and loses against the init.
+        assert_eq!(out, init);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        matrix(vec![vec![1, 2], vec![1]]);
+    }
+}

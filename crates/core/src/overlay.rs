@@ -1,14 +1,40 @@
 //! Overlay (virtual tree) construction and the basic `Õ(1)`-round
 //! aggregation/dissemination primitives built on it (paper Lemmas 4.3–4.6).
 //!
+//! # Why an overlay
+//!
 //! The universal broadcast algorithm needs a constant-degree, `O(log n)`-depth
 //! rooted virtual tree over an arbitrary subset of nodes such that every tree
 //! node knows the identifiers of its parent and children, even though tree
-//! neighbours may be far apart in `G`.  The paper obtains this from the
-//! overlay construction of [GHSS17] plus the pruning procedure of Lemma 4.5;
-//! this module builds the tree directly over the sorted participant ids
-//! (a complete binary tree), which has the same degree/depth guarantees, and
-//! charges the `Õ(1)` construction rounds of Lemma 4.3 / 4.6.
+//! neighbours may be far apart in `G` — tree edges are *global-network*
+//! channels, so one round of tree communication costs `O(1)` global messages
+//! per participant regardless of the local topology.  The paper obtains this
+//! from the overlay construction of `[GHSS17]` plus the pruning procedure of
+//! Lemma 4.5; this module builds the tree directly over the sorted
+//! participant ids (a heap-shaped complete binary tree,
+//! [`VirtualTree::heap_shaped`]), which has the same degree/depth guarantees
+//! (degree ≤ 3, depth `⌈log₂ m⌉`, pinned by unit tests), and charges the
+//! `Õ(1)` construction rounds of Lemma 4.3 / 4.6 on the simulated network.
+//!
+//! # What is built on it
+//!
+//! * [`basic_aggregation`] — Lemma 4.4 `1`-aggregation: converge-cast the
+//!   values up the tree under an associative operator, broadcast the result
+//!   down; every node ends up knowing `F(values…)` after `O(height)` rounds
+//!   of `O(log n)`-bit messages.
+//! * [`basic_dissemination`] — Lemma 4.4 `1`-dissemination: one token
+//!   holder, afterwards every node knows the token; same `Õ(1)` cost shape.
+//! * The `k`-dissemination / `k`-aggregation algorithms of Theorems 1–2
+//!   ([`crate::dissemination`]) run these per cluster: the `NQ_k`-clustering
+//!   handles the local part, the overlay the global part.
+//!
+//! # Simulation contract
+//!
+//! The structural computation (parents, children, depths) happens at the data
+//! level; the round cost is charged explicitly on the [`HybridNetwork`]
+//! (`overlay/build-virtual-tree`, `overlay/aggregate-convergecast`,
+//! `overlay/disseminate-broadcast` cost-trace entries), so the round counts
+//! in the reproduced tables reflect the paper's bounds, not host wall-clock.
 
 use hybrid_graph::NodeId;
 use hybrid_sim::HybridNetwork;

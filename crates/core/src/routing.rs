@@ -1,6 +1,6 @@
 //! Universally optimal multi-message unicast: the `(k, ℓ)`-routing problem
 //! (Definition 1.3, Theorem 3) and the existentially optimal baseline of
-//! [KS20].
+//! `[KS20]`.
 //!
 //! Every source `s ∈ S` holds one individual message for every target
 //! `t ∈ T`; every target must learn all `|S|` messages addressed to it.  The
@@ -139,7 +139,7 @@ pub fn kl_routing(
     }
 }
 
-/// The existentially optimal baseline ([KS20], `Õ(√k + kℓ/n)` rounds): the
+/// The existentially optimal baseline (`[KS20]`, `Õ(√k + kℓ/n)` rounds): the
 /// identical engine with the worst-case radius `min(⌈√k⌉, D)`.
 pub fn baseline_sqrt_k_routing(
     net: &mut HybridNetwork,

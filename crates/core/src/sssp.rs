@@ -5,7 +5,7 @@
 //!   `Hybrid0`.  The paper obtains this by simulating the Minor-Aggregation
 //!   model (Lemma 8.2, see [`crate::minor_aggregation`]) and implementing the
 //!   Eulerian-orientation oracle (Lemma 8.6), then invoking the
-//!   transshipment-based SSSP of [RGH+22].  Re-deriving the full
+//!   transshipment-based SSSP of `[RGH+22]`.  Re-deriving the full
 //!   transshipment / ℓ₁-oblivious-routing stack is out of scope for this
 //!   reproduction: [`sssp_approx`] produces genuinely `(1+ε)`-approximate
 //!   distance labels (exact distances quantized by the allowed error) and
@@ -15,8 +15,8 @@
 //!   invocations — is thereby preserved.  See DESIGN.md (substitutions).
 //!
 //! * **Prior-work baselines** (the other rows of Table 4): reference cost
-//!   curves for [KS20] (`Õ(√n)` exact), [CHLP21b] (`Õ(n^{5/17})`, `1+ε`),
-//!   [AHK+20] (`Õ(n^ε)`, large constant stretch) and [AG21a] (`Õ(√n)`
+//!   curves for `[KS20]` (`Õ(√n)` exact), `[CHLP21b]` (`Õ(n^{5/17})`, `1+ε`),
+//!   `[AHK+20]` (`Õ(n^ε)`, large constant stretch) and `[AG21a]` (`Õ(√n)`
 //!   deterministic, `log n / log log n` stretch).  They compute correct
 //!   distances on the substrate and charge the published round bound, so the
 //!   Table 4 comparison has both sides.
@@ -164,16 +164,16 @@ pub fn sssp_round_cost(net: &HybridNetwork, epsilon: f64) -> u64 {
 /// Prior-work SSSP algorithms used as the comparison rows of Table 4.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SsspBaseline {
-    /// [KS20]: exact SSSP in `Õ(√n)` rounds (randomized).
+    /// `[KS20]`: exact SSSP in `Õ(√n)` rounds (randomized).
     Ks20SqrtN,
-    /// [CHLP21b]: `(1+ε)`-approximate SSSP in `Õ(n^{5/17})` rounds.
+    /// `[CHLP21b]`: `(1+ε)`-approximate SSSP in `Õ(n^{5/17})` rounds.
     Chlp21FiveSeventeenths,
-    /// [AHK+20]: `(1/ε)^O(1/ε)`-approximate SSSP in `Õ(n^ε)` rounds.
+    /// `[AHK+20]`: `(1/ε)^O(1/ε)`-approximate SSSP in `Õ(n^ε)` rounds.
     Ahk20NEps {
         /// The exponent ε of the round bound.
         exponent: f64,
     },
-    /// [AG21a]: deterministic `log n / log log n`-approximation in `Õ(√n)`.
+    /// `[AG21a]`: deterministic `log n / log log n`-approximation in `Õ(√n)`.
     Ag21DeterministicSqrtN,
 }
 

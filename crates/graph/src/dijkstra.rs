@@ -424,13 +424,21 @@ pub fn hop_limited_distances(graph: &Graph, source: NodeId, h: usize) -> Vec<Wei
 /// distance array every round, improvements are buffered per round in a
 /// candidate array gated by a round stamp and applied at the round boundary:
 /// `O(frontier)` work per round instead of `O(n)`.
+///
+/// Returns `true` iff the relaxation reached its fixpoint within `h` rounds
+/// (the frontier emptied, or `h ≥ n − 1` so the Bellman–Ford bound applies).
+/// In that case `dist` holds the **exact** distances `d(source, ·)` — the
+/// `h`-hop ball covers every shortest path — which callers such as the
+/// skeleton machinery use to skip the metric-closure step entirely (see
+/// `hybrid_core::skeleton`).  `false` means `dist` is only the upper bound
+/// `d^h(source, ·)`.
 pub fn hop_limited_distances_with(
     ws: &mut HopLimitedWorkspace,
     graph: &Graph,
     source: NodeId,
     h: usize,
     dist: &mut Vec<Weight>,
-) {
+) -> bool {
     let n = graph.n();
     dist.clear();
     dist.resize(n, INFINITY);
@@ -449,6 +457,7 @@ pub fn hop_limited_distances_with(
     // Bellman–Ford converges within n-1 rounds; clamping keeps the round
     // stamps in u32 territory without changing any distance.
     let rounds = h.min(n.saturating_sub(1)) as u32;
+    let mut converged = h >= n.saturating_sub(1);
     for round in 0..rounds {
         ws.next.clear();
         for fi in 0..ws.frontier.len() {
@@ -474,6 +483,7 @@ pub fn hop_limited_distances_with(
             }
         }
         if ws.next.is_empty() {
+            converged = true;
             break;
         }
         for &u in &ws.next {
@@ -481,6 +491,7 @@ pub fn hop_limited_distances_with(
         }
         std::mem::swap(&mut ws.frontier, &mut ws.next);
     }
+    converged
 }
 
 /// Exact weighted all-pairs shortest paths (one single-source run per node,

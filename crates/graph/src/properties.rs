@@ -65,7 +65,7 @@ pub fn diameter_double_sweep(graph: &Graph) -> Weight {
 /// Degeneracy ordering: repeatedly removes a minimum-degree node.  Returns
 /// `(order, degeneracy)`.  The degeneracy upper-bounds the arboricity within
 /// a factor 2 and is used by the Eulerian-orientation / forest-decomposition
-/// machinery (Section 8.2 of the paper, [BE10]).
+/// machinery (Section 8.2 of the paper, `[BE10]`).
 pub fn degeneracy_ordering(graph: &Graph) -> (Vec<NodeId>, usize) {
     let n = graph.n();
     let mut degree: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();

@@ -16,7 +16,7 @@
 //! # Mailbox engine
 //!
 //! Delivery is backed by **double-buffered, index-sorted flat arenas**
-//! ([`Arena`]): while a round runs, outgoing messages accumulate in a single
+//! (`Arena`): while a round runs, outgoing messages accumulate in a single
 //! flat staging vector tagged `(destination, sequence)`; at the round
 //! boundary the staging vector is sorted by that key (unstable sort — the
 //! sequence number makes the key unique, so the order is deterministic and

@@ -10,9 +10,11 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use hybrid::core::cluster::{cluster_with_radius, ruling_set};
+use hybrid::core::minplus::{self, Assignment, Coeff, RowMatrix};
 use hybrid::core::nq::{lemma_3_6_bounds, NqOracle};
 use hybrid::core::spanner::{greedy_spanner, measured_stretch};
 use hybrid::core::sssp::quantize_distance;
+use hybrid::graph::INFINITY;
 use hybrid::prelude::*;
 use hybrid::sim::{GlobalMessage, GlobalScheduler};
 
@@ -233,6 +235,76 @@ proptest! {
         let report2 = sched.deliver_with_trace(&params, &messages, &mut trace2);
         prop_assert_eq!(report.rounds, report2.rounds);
         prop_assert_eq!(trace, trace2);
+    }
+
+    /// The blocked (min,+) kernel is *exactly* equivalent to the naive triple
+    /// loop — including INFINITY saturation — on h-hop row matrices from
+    /// random graphs with random anchors, coefficient rows (dense and unit),
+    /// offsets and initial rows.  This is the contract that lets the k-SSP /
+    /// (k,ℓ)-SP / Theorem 8 data levels share `hybrid::core::minplus`.
+    #[test]
+    fn minplus_kernel_matches_naive_reference(
+        graph in arbitrary_graph(),
+        h in 0usize..24,
+        seed in any::<u64>(),
+        groups in 1usize..6,
+        outputs in 1usize..12,
+    ) {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = graph.n();
+        // Skeleton-style rows: h-hop sweeps from random anchors (h may be far
+        // below the diameter, so rows carry genuine INFINITY runs).
+        let s = rng.gen_range(1..=8usize.min(n));
+        let rows: Vec<Vec<u64>> = (0..s)
+            .map(|_| {
+                let anchor = rng.gen_range(0..n) as u32;
+                hybrid::graph::dijkstra::hop_limited_distances(&graph, anchor, h)
+            })
+            .collect();
+        let matrix = RowMatrix::new(rows);
+        // Random coefficient rows: dense rows mixing finite entries, huge
+        // near-saturating values and INFINITY; occasionally a unit row.
+        let coeffs: Vec<Coeff> = (0..groups)
+            .map(|_| {
+                if rng.gen_range(0..4u8) == 0 {
+                    Coeff::Unit(rng.gen_range(0..s))
+                } else {
+                    Coeff::Dense(
+                        (0..s)
+                            .map(|_| match rng.gen_range(0..5u8) {
+                                0 => INFINITY,
+                                1 => u64::MAX - rng.gen_range(0..3u64),
+                                _ => rng.gen_range(0..200u64),
+                            })
+                            .collect(),
+                    )
+                }
+            })
+            .collect();
+        let assign: Vec<Assignment> = (0..outputs)
+            .map(|_| match rng.gen_range(0..5u8) {
+                0 => None,
+                1 => Some((rng.gen_range(0..groups), INFINITY)),
+                _ => Some((rng.gen_range(0..groups), rng.gen_range(0..100u64))),
+            })
+            .collect();
+        let init: Vec<Vec<u64>> = (0..outputs)
+            .map(|_| {
+                (0..n)
+                    .map(|_| match rng.gen_range(0..3u8) {
+                        0 => INFINITY,
+                        _ => rng.gen_range(0..400u64),
+                    })
+                    .collect()
+            })
+            .collect();
+        let init_refs: Vec<&[u64]> = init.iter().map(Vec::as_slice).collect();
+        let blocked = minplus::compose(&matrix, &coeffs, &assign, &init_refs);
+        let naive = minplus::compose_naive(&matrix, &coeffs, &assign, &init_refs);
+        prop_assert_eq!(&blocked, &naive);
+        // Determinism: a second blocked run reproduces the labels bit for bit.
+        prop_assert_eq!(blocked, minplus::compose(&matrix, &coeffs, &assign, &init_refs));
     }
 
     /// Distance quantization keeps labels within [d, (1+eps)d].
