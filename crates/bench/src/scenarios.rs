@@ -167,6 +167,7 @@ pub struct Table1Row {
 pub fn table1_rows(families: &[GraphFamily], n: usize, ks: &[u64], seed: u64) -> Vec<Table1Row> {
     let per_family: Vec<Vec<Table1Row>> = families
         .par_iter()
+        .with_min_len(1)
         .map(|family| {
             let mut rows = Vec::with_capacity(ks.len());
             let graph = Arc::new(family.build(n, seed));
@@ -278,6 +279,7 @@ pub struct Table2Row {
 pub fn table2_rows(families: &[GraphFamily], n: usize, seed: u64) -> Vec<Table2Row> {
     families
         .par_iter()
+        .with_min_len(1)
         .map(|family| {
             let graph = Arc::new(family.build(n, seed));
             let oracle = NqOracle::new(&graph);
@@ -366,6 +368,7 @@ pub struct Table3Row {
 pub fn table3_rows(families: &[GraphFamily], n: usize, ks: &[u64], seed: u64) -> Vec<Table3Row> {
     let per_family: Vec<Vec<Table3Row>> = families
         .par_iter()
+        .with_min_len(1)
         .map(|family| {
             let mut rows = Vec::with_capacity(ks.len());
             let graph = Arc::new(family.build_weighted(n, seed));
@@ -452,6 +455,7 @@ pub fn table4_rows(families: &[GraphFamily], sizes: &[usize], seed: u64) -> Vec<
         .collect();
     cells
         .par_iter()
+        .with_min_len(1)
         .map(|&(family, n)| {
             let graph = Arc::new(family.build_weighted(n, seed));
             let exact = hybrid_graph::dijkstra::sssp_auto(&graph, 0);
@@ -513,6 +517,7 @@ pub fn figure1_rows(n: usize, betas: &[f64], seed: u64) -> Vec<Figure1Row> {
     let graph = Arc::new(family.build(n, seed));
     betas
         .par_iter()
+        .with_min_len(1)
         .map(|&beta| {
             let k = ((n as f64).powf(beta).round() as usize).clamp(1, graph.n());
             let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (k as u64));
@@ -571,6 +576,7 @@ pub fn appendix_b_rows(n: usize, ks: &[u64], seed: u64) -> Vec<AppendixBRow> {
     ];
     let per_family: Vec<Vec<AppendixBRow>> = cases
         .par_iter()
+        .with_min_len(1)
         .map(|&(family, dim)| {
             let graph = family.build(n, seed);
             let d = properties::diameter(&graph);

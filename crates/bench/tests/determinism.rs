@@ -1,0 +1,88 @@
+//! Thread-count invariance of the table/figure pipelines.
+//!
+//! The reproduction's contract (README "Reproducibility", CONCURRENCY.md
+//! "Determinism") is that every table row is a pure function of its seed:
+//! the work-stealing executor may split and steal chunks differently on
+//! every run, but the stitched output must be **bit-identical** to the
+//! sequential execution for every pool width.  These tests run the actual
+//! scenario pipelines — including the nested regions the executor now runs
+//! in parallel (per-anchor skeleton SSSPs and `(min,+)` tiles under the
+//! scenario fan-out) — on explicit pools of 1, 2, 4 and 8 threads and
+//! compare the serialized rows byte for byte.
+
+use hybrid_bench::scenarios::{figure1_rows, table1_rows, table2_rows, GraphFamily};
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+/// Pool widths the determinism sweep covers (1 = the sequential reference).
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn on_pool<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool");
+    pool.install(f)
+}
+
+#[test]
+fn table_pipelines_bit_identical_across_pool_sizes() {
+    let run = || {
+        let t1 = table1_rows(&[GraphFamily::Grid2D, GraphFamily::Path], 96, &[16, 32], 7);
+        let t2 = table2_rows(&[GraphFamily::Grid2D, GraphFamily::BinaryTree], 81, 3);
+        let mut blob = serde_json::to_string_pretty(&t1).unwrap();
+        blob.push_str(&serde_json::to_string_pretty(&t2).unwrap());
+        blob
+    };
+    let reference = on_pool(1, run);
+    for threads in &WIDTHS[1..] {
+        let got = on_pool(*threads, run);
+        assert_eq!(got, reference, "table rows diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn figure1_pipeline_bit_identical_across_pool_sizes() {
+    // Figure 1 exercises the deepest nesting: the per-β fan-out wraps the
+    // Theorem 14 data level (skeleton sweeps, per-anchor coefficient rows,
+    // the (min,+) kernel), all of which are parallel regions themselves.
+    let run = || serde_json::to_string_pretty(&figure1_rows(128, &[0.25, 0.5, 0.75], 2)).unwrap();
+    let reference = on_pool(1, run);
+    for threads in &WIDTHS[1..] {
+        let got = on_pool(*threads, run);
+        assert_eq!(got, reference, "figure1 rows diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn skewed_chunk_costs_force_steals_without_changing_output() {
+    // A synthetic nested pipeline with deliberately skewed per-item cost:
+    // the first outer item does ~1000x the work of the rest, so its worker
+    // stalls while thieves drain (and re-split) the tail — the shape that
+    // maximizes steal traffic.  The stitched output must not care.
+    let work = |i: u64, rounds: u64| (0..rounds).fold(i, |a, b| a.wrapping_add(a ^ b));
+    let run = || {
+        (0u64..64)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|i| {
+                let rounds = if i == 0 { 100_000 } else { 100 };
+                // Nested region: an inner fan-out per outer item.
+                let inner: Vec<u64> = (0u64..32)
+                    .into_par_iter()
+                    .with_min_len(1)
+                    .map(|j| work(i * 32 + j, rounds))
+                    .collect();
+                inner.into_iter().fold(0u64, |a, b| a.wrapping_add(b))
+            })
+            .collect::<Vec<u64>>()
+    };
+    let reference = on_pool(1, run);
+    for threads in &WIDTHS[1..] {
+        let got = on_pool(*threads, run);
+        assert_eq!(
+            got, reference,
+            "skewed fan-out diverged at {threads} threads"
+        );
+    }
+}

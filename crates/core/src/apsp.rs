@@ -91,6 +91,7 @@ impl ApspOutput {
                 }
                 Ok(worst)
             })
+            .with_min_len(8)
             .collect();
         let mut worst: f64 = 1.0;
         for row in rows {
@@ -213,6 +214,7 @@ fn apsp_unweighted_with_policy(
             ws.run_bfs(&graph, r);
             ws.dist().to_vec()
         })
+        .with_min_len(1)
         .collect();
     let leader_dist: Vec<Vec<Weight>> = leader_hops
         .par_iter()
@@ -221,6 +223,7 @@ fn apsp_unweighted_with_policy(
                 .map(|&d| quantize_distance(d, eps_internal))
                 .collect()
         })
+        .with_min_len(8)
         .collect();
 
     // Step 4: every node learns its x-hop neighbourhood,
@@ -263,6 +266,7 @@ fn apsp_unweighted_with_policy(
                 })
                 .collect()
         })
+        .with_min_len(1)
         .collect();
 
     ApspOutput {
@@ -357,6 +361,7 @@ pub fn apsp_weighted_skeleton(
             hop_limited_distances_with(ws, &graph, v, h as usize, &mut row);
             row
         })
+        .with_min_len(1)
         .collect();
     // Closest skeleton node per node (by h-hop distance).
     let closest_skeleton: Vec<Option<(usize, Weight)>> = (0..n)
@@ -390,6 +395,7 @@ pub fn apsp_weighted_skeleton(
                 })
                 .collect()
         })
+        .with_min_len(8)
         .collect();
     let coeffs: Vec<minplus::Coeff> = (0..skeleton.len()).map(minplus::Coeff::Unit).collect();
     let assign: Vec<minplus::Assignment> = closest_skeleton.to_vec();

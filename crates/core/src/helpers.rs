@@ -206,6 +206,7 @@ pub fn ks20_helper_sets(
                 (w, helpers)
             },
         )
+        .with_min_len(1)
         .collect();
     let sets: HashMap<NodeId, Vec<NodeId>> = drafted.into_iter().collect();
     Ks20HelperSets { sets, mu }

@@ -83,6 +83,7 @@ impl KsspOutput {
                 }
                 Ok(())
             })
+            .with_min_len(1)
             .collect();
         rows.into_iter().collect()
     }
@@ -131,6 +132,7 @@ pub fn kssp(
                     .map(|&d| quantize_distance(d, epsilon))
                     .collect()
             })
+            .with_min_len(1)
             .collect();
         return KsspOutput {
             sources: sources.to_vec(),
@@ -241,6 +243,7 @@ fn compute_labels(
                 Some((row, converged))
             }
         })
+        .with_min_len(1)
         .collect();
 
     // Initial row per source: its own h-hop knowledge, and whether that row
@@ -311,6 +314,7 @@ fn compute_labels(
             };
             Coeff::Dense(row)
         })
+        .with_min_len(1)
         .collect();
     let group_of = |anchor: usize| anchors.binary_search(&anchor).expect("anchor registered");
 

@@ -307,6 +307,7 @@ pub fn compose(
     let anchor_rows: Vec<Option<std::borrow::Cow<[Weight]>>> = (0..coeffs.len())
         .into_par_iter()
         .map(|g| used[g].then(|| reduce_group(rows, &coeffs[g])))
+        .with_min_len(1)
         .collect();
     // Phase 2: fold each member's anchor row (plus offset) into its initial
     // row — O(n) per output row, parallel over rows, index-deterministic.
@@ -329,6 +330,7 @@ pub fn compose(
             }
             out
         })
+        .with_min_len(8)
         .collect()
 }
 

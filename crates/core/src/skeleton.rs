@@ -231,6 +231,7 @@ pub fn build_skeleton(
             let converged = hop_limited_distances_with(ws, &graph, u, h as usize, &mut row);
             (row, converged)
         })
+        .with_min_len(1)
         .collect();
     let converged = rows_with_flags.iter().all(|&(_, c)| c);
     let rows = RowMatrix::new(rows_with_flags.into_iter().map(|(row, _)| row).collect());

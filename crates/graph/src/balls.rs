@@ -100,6 +100,7 @@ impl BallOracle {
                 }
                 profile
             })
+            .with_min_len(1)
             .collect();
         BallOracle {
             profiles,

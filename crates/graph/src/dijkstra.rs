@@ -504,6 +504,7 @@ pub fn apsp_exact(graph: &Graph) -> Vec<Vec<Weight>> {
             ws.run(graph, v);
             ws.dist().to_vec()
         })
+        .with_min_len(1)
         .collect()
 }
 
@@ -515,6 +516,7 @@ pub fn apsp_hops_exact(graph: &Graph) -> Vec<Vec<Weight>> {
             ws.run_bfs(graph, v);
             ws.dist().to_vec()
         })
+        .with_min_len(1)
         .collect()
 }
 

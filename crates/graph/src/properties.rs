@@ -30,6 +30,7 @@ pub fn eccentricities(graph: &Graph) -> Vec<Weight> {
                 .map(|&u| ws.dist()[u as usize])
                 .unwrap_or(0)
         })
+        .with_min_len(1)
         .collect()
 }
 

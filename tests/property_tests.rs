@@ -422,3 +422,31 @@ proptest! {
         prop_assert!(uni.rounds <= base.rounds);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Executor determinism (CONCURRENCY.md): the work-stealing pool stitches
+    /// chunk results in index order, so a parallel fan-out — per-worker
+    /// `map_init` workspaces, steals and adaptive splits included — returns
+    /// bit-identical output for every pool width.
+    #[test]
+    fn parallel_fanouts_are_thread_count_invariant(graph in arbitrary_graph()) {
+        let apsp_ref = hybrid::graph::dijkstra::apsp_exact(&graph);
+        let ecc_ref = hybrid::graph::properties::eccentricities(&graph);
+        for threads in [2usize, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let (apsp, ecc) = pool.install(|| {
+                (
+                    hybrid::graph::dijkstra::apsp_exact(&graph),
+                    hybrid::graph::properties::eccentricities(&graph),
+                )
+            });
+            prop_assert!(apsp == apsp_ref, "apsp diverged at {} threads", threads);
+            prop_assert!(ecc == ecc_ref, "eccentricities diverged at {} threads", threads);
+        }
+    }
+}

@@ -1,29 +1,284 @@
 //! Offline stand-in for `rayon`, covering the indexed data-parallel subset
 //! this workspace uses: `into_par_iter()` on integer ranges, `par_iter()` on
-//! slices, `map` / `map_init` / `for_each` / `collect::<Vec<_>>()`.
+//! slices, `map` / `map_init` / `with_min_len` / `for_each` /
+//! `collect::<Vec<_>>()`, plus [`ThreadPoolBuilder`] / [`ThreadPool::install`]
+//! for running a region on an explicitly sized pool (the determinism tests
+//! sweep pool sizes in-process this way).
 //!
-//! Execution model: the driving thread splits the index space into one
-//! contiguous chunk per worker and runs the chunks on `std::thread::scope`
-//! threads (no unsafe, no global pool).  Results are stitched back together
-//! in index order, so **output order is deterministic and identical to the
-//! sequential execution** regardless of thread scheduling — a property the
-//! reproduction relies on for seed-stable tables.
+//! # Execution model
 //!
-//! Knobs and guards:
+//! A **persistent work-stealing pool** (see `CONCURRENCY.md` at the workspace
+//! root for the full design and the determinism argument):
 //!
-//! * `RAYON_NUM_THREADS` (same variable as real rayon) caps the worker count;
-//!   unset, the count is `std::thread::available_parallelism()`.
-//! * Nested parallel regions run sequentially (a thread-local flag): the
-//!   outermost fan-out (per scenario row / per APSP source block) gets the
-//!   cores, inner oracles stay allocation-lean single-threaded.
-//! * Tiny inputs (`len < min_len`, default 2) skip thread spawning entirely.
+//! * Worker threads are spawned **lazily** on the first parallel region and
+//!   live for the rest of the process (`RAYON_NUM_THREADS` caps the compute
+//!   width, like real rayon; unset, it is
+//!   `std::thread::available_parallelism()`).  A pool of width `T` runs
+//!   `T − 1` workers — the thread driving a region is the `T`-th compute
+//!   lane, so `RAYON_NUM_THREADS=1` never spawns anything.
+//! * Each worker owns a **chunk deque**: it pushes and pops at the back
+//!   (LIFO, cache-warm), thieves steal from the front (FIFO, biggest pieces
+//!   first).  Non-worker threads submit through a shared injector queue.
+//! * Regions split **adaptively**: a range is halved only while another
+//!   thread is hungry (steal-driven subdivision) or while the piece is still
+//!   larger than `len / (4·T)`, and never below the iterator's
+//!   [`ParIter::with_min_len`] floor.  Small regions therefore run as one or
+//!   two chunks instead of paying a full fan-out.
+//! * **Nested regions are parallel**: a worker entering an inner region
+//!   pushes the sub-chunks onto its own deque (where siblings steal them)
+//!   and helps until the inner region completes.  The thread-local
+//!   sequential-nesting guard of the previous executor is gone.
+//! * Results are stitched back in **index order** — output is bit-identical
+//!   to the sequential execution regardless of thread count, steals or split
+//!   points, which the seed-stable tables rely on.
+//!
+//! A panic inside a chunk is caught on the worker, surfaced on the thread
+//! that drove the region (after the region's other chunks finish), and
+//! leaves the pool usable.
 
-use std::cell::Cell;
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::OnceLock;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Pool plumbing
+// ---------------------------------------------------------------------------
+
+/// One unit of schedulable work: a contiguous index range of a region,
+/// type-erased so the scheduler is monomorphization-free.
+///
+/// `region` points at the driving thread's stack frame (a `RegionState<S>`).
+/// That frame provably outlives the task: the driver does not return until
+/// the region's `remaining` item count hits zero, and every spawned range
+/// decrements `remaining` by its length exactly once, after running.
+struct RawTask {
+    region: *const (),
+    run: unsafe fn(*const (), usize, usize),
+    start: usize,
+    end: usize,
+    /// Never split below this many items.
+    min_len: usize,
+    /// Split (even unprompted by steals) while larger than this, so one
+    /// worker cannot monopolize a region's tail in a single giant chunk.
+    cap: usize,
+}
+
+// SAFETY: the raw pointer is only dereferenced while the owning region is
+// alive (see the `region` field docs); the pointee (`RegionState<S>`) is
+// only accessed through `&self` methods whose shared state is atomics and
+// mutexes, and `S: Sync` is enforced where the pointer is created.
+unsafe impl Send for RawTask {}
+
+/// Shared state of one pool: the deques, the injector, and the sleep/wake
+/// machinery.  Owned by an `Arc` held by the workers, the [`ThreadPool`]
+/// handle (if any) and the thread-local context stack.
+struct PoolShared {
+    /// One deque per worker thread (back = owner side, front = steal side).
+    deques: Vec<Mutex<VecDeque<RawTask>>>,
+    /// Submission queue for threads that are not workers of this pool.
+    injector: Mutex<VecDeque<RawTask>>,
+    /// Tasks currently sitting in `deques` + `injector`.
+    queued: AtomicUsize,
+    /// Threads currently hungry (searching for a task, parked, or waiting on
+    /// a region with nothing to help with).  The split heuristic reads this.
+    idle: AtomicUsize,
+    /// Workers parked on `wakeup`.
+    sleepers: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+    /// Compute width `T` (workers + the driving thread).
+    threads: usize,
+}
+
+impl PoolShared {
+    /// Creates the shared state and spawns `threads - 1` workers.
+    fn spawn(threads: usize) -> Arc<PoolShared> {
+        let workers = threads.saturating_sub(1);
+        let shared = Arc::new(PoolShared {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            queued: AtomicUsize::new(0),
+            idle: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            threads: threads.max(1),
+        });
+        for index in 0..workers {
+            let pool = Arc::clone(&shared);
+            LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+            std::thread::Builder::new()
+                .name(format!("rayon-standin-{index}"))
+                .spawn(move || worker_loop(pool, index))
+                .expect("failed to spawn pool worker");
+        }
+        shared
+    }
+
+    /// Enqueues a task: on the caller's own deque if it is a worker of this
+    /// pool, otherwise on the injector.  Wakes a parked worker if any.
+    fn push(&self, me: Option<usize>, task: RawTask) {
+        match me {
+            Some(i) => self.deques[i].lock().unwrap().push_back(task),
+            None => self.injector.lock().unwrap().push_back(task),
+        }
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_lock.lock().unwrap();
+            self.wakeup.notify_one();
+        }
+    }
+
+    /// Own deque (back) → injector (front) → steal (front of other deques).
+    fn find_task(&self, me: Option<usize>) -> Option<RawTask> {
+        if let Some(i) = me {
+            if let Some(task) = self.deques[i].lock().unwrap().pop_back() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(task);
+            }
+        }
+        if let Some(task) = self.injector.lock().unwrap().pop_front() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(task);
+        }
+        let n = self.deques.len();
+        let offset = me.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let j = (offset + k) % n;
+            if Some(j) == me {
+                continue;
+            }
+            if let Some(task) = self.deques[j].lock().unwrap().pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Runs one task: adaptively splits off right halves (pushed for
+    /// thieves) while someone is hungry or the piece exceeds its cap, then
+    /// executes the rest as one contiguous chunk.
+    fn run_task(&self, me: Option<usize>, task: RawTask) {
+        let RawTask {
+            region,
+            run,
+            start,
+            mut end,
+            min_len,
+            cap,
+        } = task;
+        while end - start >= 2 * min_len
+            && (end - start > cap || self.idle.load(Ordering::SeqCst) > 0)
+        {
+            let mid = start + (end - start) / 2;
+            self.push(
+                me,
+                RawTask {
+                    region,
+                    run,
+                    start: mid,
+                    end,
+                    min_len,
+                    cap,
+                },
+            );
+            end = mid;
+        }
+        // SAFETY: the region outlives its tasks (see `RawTask::region`).
+        unsafe { run(region, start, end) }
+    }
+
+    /// Work loop of a thread waiting for a region to complete: help with any
+    /// available task, otherwise park briefly on the region's completion
+    /// signal.  The helper may pick up chunks of *other* live regions — that
+    /// only delays this region's return by one chunk, never deadlocks,
+    /// because every task runs to completion (nested regions recurse into
+    /// this same loop).
+    fn wait_region(&self, me: Option<usize>, region: &RegionSync) {
+        while region.remaining.load(Ordering::Acquire) != 0 {
+            self.idle.fetch_add(1, Ordering::SeqCst);
+            let task = self.find_task(me);
+            self.idle.fetch_sub(1, Ordering::SeqCst);
+            match task {
+                Some(task) => self.run_task(me, task),
+                None => {
+                    let guard = region.done_lock.lock().unwrap();
+                    if region.remaining.load(Ordering::Acquire) != 0 {
+                        self.idle.fetch_add(1, Ordering::SeqCst);
+                        let _ = region
+                            .done
+                            .wait_timeout(guard, Duration::from_millis(1))
+                            .unwrap();
+                        self.idle.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Number of pool worker threads currently alive, across all pools
+/// (including the global one).  Incremented before a worker is spawned and
+/// decremented when its loop exits, so after [`ThreadPool`] drop (which
+/// joins) the count provably excludes that pool's workers — the CI leak
+/// check asserts this.
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Current number of live pool worker threads, across all pools (including
+/// the global one).  The count for a pool is registered before its workers
+/// are spawned and deregistered as each worker loop exits, so after a
+/// [`ThreadPool`] drop (which joins) it provably excludes that pool — the
+/// CI pool-leak check is built on this.
+pub fn live_worker_threads() -> usize {
+    LIVE_WORKERS.load(Ordering::SeqCst)
+}
+
+fn worker_loop(pool: Arc<PoolShared>, index: usize) {
+    CURRENT_WORKER.with(|slot| *slot.borrow_mut() = Some((Arc::clone(&pool), index)));
+    loop {
+        if let Some(task) = pool.find_task(Some(index)) {
+            pool.run_task(Some(index), task);
+            continue;
+        }
+        if pool.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        pool.idle.fetch_add(1, Ordering::SeqCst);
+        let guard = pool.sleep_lock.lock().unwrap();
+        pool.sleepers.fetch_add(1, Ordering::SeqCst);
+        // Re-check under the lock: a `push` increments `queued` before
+        // probing `sleepers`, so either we see the task here or the pusher
+        // sees us and notifies while we wait.  The timeout is a belt-and-
+        // braces backstop, not a correctness requirement.
+        if pool.queued.load(Ordering::SeqCst) == 0 && !pool.shutdown.load(Ordering::SeqCst) {
+            let _ = pool
+                .wakeup
+                .wait_timeout(guard, Duration::from_millis(10))
+                .unwrap();
+        }
+        pool.sleepers.fetch_sub(1, Ordering::SeqCst);
+        pool.idle.fetch_sub(1, Ordering::SeqCst);
+    }
+    CURRENT_WORKER.with(|slot| *slot.borrow_mut() = None);
+    LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+}
+
+type WorkerContext = Option<(Arc<PoolShared>, usize)>;
 
 thread_local! {
-    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+    /// Set for the lifetime of a pool worker thread: its pool and deque index.
+    static CURRENT_WORKER: RefCell<WorkerContext> = const { RefCell::new(None) };
+    /// Stack of pools entered via [`ThreadPool::install`] on this thread.
+    static INSTALLED: RefCell<Vec<Arc<PoolShared>>> = const { RefCell::new(Vec::new()) };
 }
 
 fn configured_threads() -> usize {
@@ -40,10 +295,256 @@ fn configured_threads() -> usize {
     })
 }
 
-/// Number of worker threads a parallel region may use.
-pub fn current_num_threads() -> usize {
-    configured_threads()
+/// The process-wide default pool, spawned on first use by a parallel region
+/// (never for `RAYON_NUM_THREADS=1`, where every region runs inline).
+fn global_pool() -> Arc<PoolShared> {
+    static POOL: OnceLock<Arc<PoolShared>> = OnceLock::new();
+    Arc::clone(POOL.get_or_init(|| PoolShared::spawn(configured_threads())))
 }
+
+/// Resolves the pool a region started on this thread should run on:
+/// a worker thread keeps its own pool, a thread inside
+/// [`ThreadPool::install`] uses the installed pool, anything else the
+/// global pool (`None` here, materialized lazily).
+fn current_context() -> (Option<Arc<PoolShared>>, Option<usize>) {
+    let worker = CURRENT_WORKER.with(|slot| slot.borrow().clone());
+    if let Some((pool, index)) = worker {
+        return (Some(pool), Some(index));
+    }
+    let installed = INSTALLED.with(|stack| stack.borrow().last().cloned());
+    (installed, None)
+}
+
+/// Number of worker threads a parallel region started on this thread may use
+/// (the installed/worker pool's width, or the `RAYON_NUM_THREADS` default).
+pub fn current_num_threads() -> usize {
+    match current_context() {
+        (Some(pool), _) => pool.threads,
+        (None, _) => configured_threads(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Explicit pools
+// ---------------------------------------------------------------------------
+
+/// Builder for an explicitly sized [`ThreadPool`], mirroring real rayon's
+/// `ThreadPoolBuilder::new().num_threads(n).build()`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`].  This stand-in cannot
+/// actually fail to build; the `Result` mirrors the real crate's signature.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default width (`RAYON_NUM_THREADS`).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool's compute width (0 means "use the default").
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = (n > 0).then_some(n);
+        self
+    }
+
+    /// Builds the pool, spawning `num_threads - 1` workers eagerly.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = self.num_threads.unwrap_or_else(configured_threads);
+        Ok(ThreadPool {
+            shared: PoolShared::spawn(threads),
+        })
+    }
+}
+
+/// An explicitly sized pool.  Dropping it shuts the workers down and joins
+/// them (observable via [`live_worker_threads`]).
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+}
+
+impl ThreadPool {
+    /// Runs `f` on the calling thread with this pool installed as the
+    /// ambient pool: every parallel region started inside `f` (however
+    /// deeply nested) fans out on this pool's workers, with the calling
+    /// thread participating as one compute lane.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED.with(|stack| stack.borrow_mut().push(Arc::clone(&self.shared)));
+        struct PopGuard;
+        impl Drop for PopGuard {
+            fn drop(&mut self) {
+                INSTALLED.with(|stack| {
+                    stack.borrow_mut().pop();
+                });
+            }
+        }
+        let _guard = PopGuard;
+        f()
+    }
+
+    /// This pool's compute width (workers + the installing thread).
+    pub fn current_num_threads(&self) -> usize {
+        self.shared.threads
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // By the time a pool can be dropped no region is live on it
+        // (`install` borrows the pool for the whole region), so the deques
+        // are empty and the workers are parked or about to park.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.sleep_lock.lock().unwrap();
+            self.shared.wakeup.notify_all();
+        }
+        // Wait for every worker to exit its loop; each one drops its TLS
+        // `Arc` on the way out, and the 10 ms park backstop bounds the wait
+        // even if a wakeup is lost.
+        while Arc::strong_count(&self.shared) > 1 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regions
+// ---------------------------------------------------------------------------
+
+/// Completion signalling of one region (split out of the generic
+/// [`RegionState`] so pool code can stay monomorphization-free).
+///
+/// Lives behind an `Arc`: the worker that completes a region's *last* item
+/// must lock `done_lock` and signal `done` **after** its decrement made
+/// `remaining` zero — at which point the driver is free to observe
+/// completion (its wait has a timeout, so it does not need the signal) and
+/// pop the `RegionState` off its stack.  Each chunk therefore clones the
+/// `Arc` up front and signals through the clone, never through region
+/// memory, so the signal cannot race the region's destruction.
+struct RegionSync {
+    /// Items not yet executed.  The region is complete at zero.
+    remaining: AtomicUsize,
+    done_lock: Mutex<()>,
+    done: Condvar,
+    /// First panic payload raised by any chunk, rethrown by the driver.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Completed chunks of a `collect` region, as `(chunk start, items)`.
+type ChunkSink<T> = Mutex<Vec<(usize, Vec<T>)>>;
+
+/// Per-region state referenced (via raw pointer) by that region's tasks.
+struct RegionState<S: ParSource> {
+    source: *const S,
+    /// `Some` for `collect` regions: completed chunks, stitched in index
+    /// order at the end.  `None` for `for_each`.
+    sink: Option<ChunkSink<S::Item>>,
+    sync: Arc<RegionSync>,
+}
+
+/// Type-erased chunk entry point for a region over source type `S`.
+///
+/// # Safety
+/// `region` must point to a live `RegionState<S>` whose `source` is valid;
+/// guaranteed by the region driver not returning before `remaining` reaches
+/// zero.  Every access to `region` below happens before this chunk's
+/// decrement (while at least `end - start` items are outstanding, so the
+/// driver provably has not returned); the completion signal goes through an
+/// owned `Arc` clone, not through `region`.
+unsafe fn exec_chunk<S: ParSource>(region: *const (), start: usize, end: usize) {
+    let region = &*(region as *const RegionState<S>);
+    let sync = Arc::clone(&region.sync);
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let source = &*region.source;
+        match &region.sink {
+            Some(sink) => {
+                let mut items = Vec::with_capacity(end - start);
+                source.sp_run_chunk(start..end, &mut items);
+                sink.lock().unwrap().push((start, items));
+            }
+            None => source.sp_drive_chunk(start..end),
+        }
+    }));
+    if let Err(payload) = result {
+        let mut slot = sync.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+    // `region` must not be touched past this decrement: once `remaining`
+    // hits zero the driver may return and destroy the `RegionState`.
+    if sync.remaining.fetch_sub(end - start, Ordering::AcqRel) == end - start {
+        let _guard = sync.done_lock.lock().unwrap();
+        sync.done.notify_all();
+    }
+}
+
+/// Drives one parallel region to completion and returns the collected items
+/// (`None` for `for_each` regions).
+fn run_region<S: ParSource>(source: &S, min_len: usize, collect: bool) -> Option<Vec<S::Item>> {
+    let len = source.sp_len();
+    let min = min_len.max(1);
+    let (pool, me) = current_context();
+    let threads = pool.as_ref().map_or_else(configured_threads, |p| p.threads);
+    if threads <= 1 || len <= min {
+        if collect {
+            let mut out = Vec::with_capacity(len);
+            source.sp_run_chunk(0..len, &mut out);
+            return Some(out);
+        }
+        source.sp_drive_chunk(0..len);
+        return None;
+    }
+    let pool = pool.unwrap_or_else(global_pool);
+    let region = RegionState::<S> {
+        source,
+        sink: collect.then(|| Mutex::new(Vec::new())),
+        sync: Arc::new(RegionSync {
+            remaining: AtomicUsize::new(len),
+            done_lock: Mutex::new(()),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }),
+    };
+    let task = RawTask {
+        region: (&region as *const RegionState<S>).cast(),
+        run: exec_chunk::<S>,
+        start: 0,
+        end: len,
+        min_len: min,
+        cap: len.div_ceil(4 * threads).max(min),
+    };
+    pool.run_task(me, task);
+    pool.wait_region(me, &region.sync);
+    if let Some(payload) = region.sync.panic.lock().unwrap().take() {
+        std::panic::resume_unwind(payload);
+    }
+    region.sink.map(|sink| {
+        let mut chunks = sink.into_inner().unwrap();
+        chunks.sort_unstable_by_key(|&(start, _)| start);
+        let mut out = Vec::with_capacity(len);
+        for (_, items) in chunks {
+            out.extend(items);
+        }
+        out
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Sources and iterators
+// ---------------------------------------------------------------------------
 
 /// An indexed source of `len` independent items.
 pub trait ParSource: Sync {
@@ -102,6 +603,7 @@ macro_rules! impl_range_source {
                         start: self.start,
                         len: (self.end.saturating_sub(self.start)) as usize,
                     },
+                    min_len: DEFAULT_MIN_LEN,
                 }
             }
         }
@@ -152,6 +654,11 @@ where
 
 /// `map_init` combinator: per-chunk scratch state (e.g. a reusable Dijkstra
 /// workspace) built once per worker chunk instead of once per item.
+///
+/// Adaptive splitting makes chunk *boundaries* depend on steal timing, so a
+/// caller must not let the scratch value influence per-item output — the
+/// workspace pattern (scratch as reusable buffers, reset per item) is the
+/// intended use, and what keeps results thread-count-independent.
 pub struct MapInitSource<S, INIT, F> {
     inner: S,
     init: INIT,
@@ -191,9 +698,16 @@ where
     }
 }
 
+/// Default minimum chunk length when [`ParIter::with_min_len`] is not called:
+/// regions of two or more items may fan out.  Hot call sites tune this —
+/// `1` where every item is a full graph sweep, larger where items are cheap
+/// `O(n)` row passes (see `CONCURRENCY.md`, "Choosing `min_len`").
+pub const DEFAULT_MIN_LEN: usize = 2;
+
 /// A parallel iterator over an indexed source.
 pub struct ParIter<S> {
     source: S,
+    min_len: usize,
 }
 
 impl<S: ParSource> ParIter<S> {
@@ -204,6 +718,7 @@ impl<S: ParSource> ParIter<S> {
                 inner: self.source,
                 f,
             },
+            min_len: self.min_len,
         }
     }
 
@@ -220,17 +735,21 @@ impl<S: ParSource> ParIter<S> {
                 init,
                 f,
             },
+            min_len: self.min_len,
         }
     }
 
-    /// Accepted for rayon compatibility; chunking is already coarse.
-    pub fn with_min_len(self, _min: usize) -> Self {
+    /// Sets the minimum number of items a chunk may hold: adaptive splitting
+    /// never subdivides below it, and a region of `min` or fewer items runs
+    /// inline on the calling thread with no pool traffic at all.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
         self
     }
 
     /// Collects the items in index order.
     pub fn collect<C: FromParIter<S::Item>>(self) -> C {
-        C::from_par_source(self.source)
+        C::from_par_source(self.source, self.min_len)
     }
 
     /// Runs `f` on every item (index order within a chunk; chunks parallel).
@@ -239,72 +758,21 @@ impl<S: ParSource> ParIter<S> {
             inner: self.source,
             f: move |x| f(x),
         };
-        drive(&mapped);
+        run_region(&mapped, self.min_len, false);
     }
 }
 
 /// Collection types a [`ParIter`] can collect into.
 pub trait FromParIter<T> {
-    /// Builds the collection from the source.
-    fn from_par_source<S: ParSource<Item = T>>(source: S) -> Self;
+    /// Builds the collection from the source, never splitting chunks below
+    /// `min_len` items.
+    fn from_par_source<S: ParSource<Item = T>>(source: S, min_len: usize) -> Self;
 }
 
 impl<T: Send> FromParIter<T> for Vec<T> {
-    fn from_par_source<S: ParSource<Item = T>>(source: S) -> Self {
-        execute(&source)
+    fn from_par_source<S: ParSource<Item = T>>(source: S, min_len: usize) -> Self {
+        run_region(&source, min_len, true).expect("collect region returns items")
     }
-}
-
-fn plan(len: usize) -> Option<(usize, usize)> {
-    let threads = configured_threads().min(len);
-    if threads <= 1 || len < 2 || IN_PARALLEL_REGION.with(Cell::get) {
-        return None;
-    }
-    Some((threads, len.div_ceil(threads)))
-}
-
-fn execute<S: ParSource>(source: &S) -> Vec<S::Item> {
-    let len = source.sp_len();
-    let Some((threads, chunk)) = plan(len) else {
-        let mut out = Vec::with_capacity(len);
-        source.sp_run_chunk(0..len, &mut out);
-        return out;
-    };
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let range = t * chunk..len.min((t + 1) * chunk);
-                scope.spawn(move || {
-                    IN_PARALLEL_REGION.with(|f| f.set(true));
-                    let mut out = Vec::with_capacity(range.len());
-                    source.sp_run_chunk(range, &mut out);
-                    out
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(len);
-        for handle in handles {
-            out.extend(handle.join().expect("parallel worker panicked"));
-        }
-        out
-    })
-}
-
-fn drive<S: ParSource>(source: &S) {
-    let len = source.sp_len();
-    let Some((threads, chunk)) = plan(len) else {
-        source.sp_drive_chunk(0..len);
-        return;
-    };
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let range = t * chunk..len.min((t + 1) * chunk);
-            scope.spawn(move || {
-                IN_PARALLEL_REGION.with(|f| f.set(true));
-                source.sp_drive_chunk(range);
-            });
-        }
-    });
 }
 
 /// Conversion into a parallel iterator (by value).
@@ -336,6 +804,7 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     fn par_iter(&'a self) -> Self::Iter {
         ParIter {
             source: SliceSource { slice: self },
+            min_len: DEFAULT_MIN_LEN,
         }
     }
 }
@@ -347,6 +816,7 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     fn par_iter(&'a self) -> Self::Iter {
         ParIter {
             source: SliceSource { slice: self },
+            min_len: DEFAULT_MIN_LEN,
         }
     }
 }
@@ -359,6 +829,17 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+
+    /// Serializes the tests that build/drop pools: `cargo test` runs tests
+    /// on parallel threads, and the process-global [`live_worker_threads`]
+    /// counter (asserted by the leak check) would otherwise move under a
+    /// concurrent pool's spawn or join.
+    fn pool_test_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     #[test]
     fn range_map_collect_preserves_order() {
@@ -382,10 +863,32 @@ mod tests {
                 scratch.len()
             })
             .collect();
-        // Within each chunk the scratch grows monotonically from 1.
+        // Within each chunk the scratch grows monotonically from 1, and the
+        // chunk containing index 0 starts at index 0.
         assert_eq!(out.len(), 64);
         assert!(out.iter().all(|&c| c >= 1));
         assert_eq!(out[0], 1);
+    }
+
+    #[test]
+    fn with_min_len_at_region_size_forces_one_inline_chunk() {
+        let _serial = pool_test_guard();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            (0usize..64)
+                .into_par_iter()
+                .map_init(
+                    || 0usize,
+                    |count, _| {
+                        *count += 1;
+                        *count
+                    },
+                )
+                .with_min_len(64)
+                .collect()
+        });
+        // A single chunk means a single scratch counting 1..=64.
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
     }
 
     #[test]
@@ -401,6 +904,159 @@ mod tests {
             .map(|i| (0usize..8).map(|j| i * 8 + j).sum())
             .collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn nested_region_under_single_outer_item_uses_the_pool() {
+        use std::collections::HashSet;
+        let _serial = pool_test_guard();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let out: Vec<u64> = pool.install(|| {
+            (0usize..1)
+                .into_par_iter()
+                .map(|_| {
+                    // Inner region: enough items with enough work each that
+                    // parked workers wake and steal.
+                    let inner: Vec<u64> = (0u64..256)
+                        .into_par_iter()
+                        .with_min_len(1)
+                        .map(|x| {
+                            seen.lock().unwrap().insert(std::thread::current().id());
+                            (0..50_000u64).fold(x, |a, b| a.wrapping_add(a ^ b))
+                        })
+                        .collect();
+                    inner
+                        .iter()
+                        .copied()
+                        .reduce(|a, b| a.wrapping_add(b))
+                        .unwrap()
+                })
+                .collect()
+        });
+        let reference: Vec<u64> = (0u64..256)
+            .map(|x| (0..50_000u64).fold(x, |a, b| a.wrapping_add(a ^ b)))
+            .collect();
+        assert_eq!(
+            out[0],
+            reference
+                .iter()
+                .copied()
+                .reduce(|a, b| a.wrapping_add(b))
+                .unwrap()
+        );
+        // The outer region has one item, so any second thread inside the
+        // inner region proves nested parallelism (the old executor pinned
+        // nested regions to the one outer thread).
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "inner region never left the outer worker"
+        );
+    }
+
+    #[test]
+    fn pool_sizes_produce_identical_results() {
+        let _serial = pool_test_guard();
+        let reference: Vec<u64> = (0u64..512).map(|x| x.wrapping_mul(x) ^ 17).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let out: Vec<u64> = pool.install(|| {
+                (0u64..512)
+                    .into_par_iter()
+                    .with_min_len(1)
+                    .map(|x| x.wrapping_mul(x) ^ 17)
+                    .collect()
+            });
+            assert_eq!(out, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn skewed_chunk_costs_force_steals_and_preserve_order() {
+        // First items are ~1000x more expensive than the tail: the worker
+        // that takes the head chunk stalls, so the tail must be stolen and
+        // subdivided — output order must not care.
+        let cost = |i: u64| if i < 8 { 200_000u64 } else { 200 };
+        let work = |i: u64| (0..cost(i)).fold(i, |a, b| a.wrapping_add(a ^ b));
+        let reference: Vec<u64> = (0u64..512).map(work).collect();
+        let _serial = pool_test_guard();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<u64> = pool.install(|| {
+            (0u64..512)
+                .into_par_iter()
+                .with_min_len(1)
+                .map(work)
+                .collect()
+        });
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn pool_drop_joins_all_workers() {
+        let _serial = pool_test_guard();
+        // Force the lazily spawned global pool into existence first (a
+        // no-op on 1-thread configs): it persists for the process, so no
+        // concurrent test can move the counter between the reads below.
+        let _: Vec<u32> = (0u32..1024)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|x| x)
+            .collect();
+        let baseline = live_worker_threads();
+        {
+            let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+            assert_eq!(pool.current_num_threads(), 4);
+            // 3 workers (the installing thread is the 4th lane), counted
+            // before spawn so the assertion cannot race thread start-up.
+            assert_eq!(live_worker_threads(), baseline + 3);
+            let sum: Vec<u64> = pool.install(|| {
+                (0u64..1024)
+                    .into_par_iter()
+                    .with_min_len(1)
+                    .map(|x| x / 2)
+                    .collect()
+            });
+            assert_eq!(sum.len(), 1024);
+        }
+        assert_eq!(
+            live_worker_threads(),
+            baseline,
+            "dropped pool leaked worker threads"
+        );
+    }
+
+    #[test]
+    fn panic_in_chunk_propagates_and_pool_survives() {
+        let _serial = pool_test_guard();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                let _: Vec<u64> = (0u64..128)
+                    .into_par_iter()
+                    .with_min_len(1)
+                    .map(|x| {
+                        if x == 37 {
+                            panic!("boom");
+                        }
+                        x
+                    })
+                    .collect();
+            })
+        }));
+        assert!(result.is_err(), "chunk panic must reach the caller");
+        // The pool stays usable after a panicking region.
+        let ok: Vec<u64> = pool.install(|| (0u64..64).into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(ok, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_scopes_the_thread_count() {
+        let _serial = pool_test_guard();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
     }
 
     #[test]
