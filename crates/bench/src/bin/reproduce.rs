@@ -5,7 +5,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p hybrid-bench --bin reproduce -- [table1|table2|table3|table4|figure1|appendix-b|all] [--quick] [--check-regression]
+//! cargo run --release -p hybrid-bench --bin reproduce -- [table1|table2|table3|table4|figure1|appendix-b|sweep|all] [--quick] [--check-regression] [--strict]
 //! ```
 //!
 //! `--quick` shrinks the instance sizes so the full run finishes in well under
@@ -14,9 +14,14 @@
 //!
 //! `--check-regression` compares the wall-clock times of this run against the
 //! committed `BENCH_baseline.json` with a generous tolerance and prints a
-//! warning per regressed target.  It is **warn-only** (the exit code stays 0):
-//! the gate exists to make perf drift visible in CI logs, not to block merges
-//! on noisy container timings.
+//! warning per regressed target.  By default it is **warn-only** (the exit
+//! code stays 0) so local runs on noisy laptops never fail; with `--strict`
+//! (what CI passes; implies `--check-regression`) any breach of the
+//! `2× + 100 ms` tolerance — or a target missing its baseline entry — exits
+//! non-zero and blocks the merge.
+//!
+//! Unknown targets *and unknown flags* exit with code 2 and the usage string:
+//! a typo like `--qiuck` must not silently run the slow full suite.
 
 use std::fs;
 use std::path::Path;
@@ -25,7 +30,63 @@ use std::time::Instant;
 use hybrid_bench::scenarios::{
     appendix_b_rows, figure1_rows, table1_rows, table2_rows, table3_rows, table4_rows, GraphFamily,
 };
+use hybrid_bench::sweep::{sweep_rows, SweepConfig};
 use serde::Serialize;
+
+const USAGE: &str =
+    "usage: reproduce [table1|table2|table3|table4|figure1|appendix-b|sweep|all] [--quick] [--check-regression] [--strict]";
+
+/// Parsed command line of the `reproduce` binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cli {
+    /// The reproduction target (`all` when omitted).
+    target: String,
+    /// Shrunk instance sizes.
+    quick: bool,
+    /// Compare against `BENCH_baseline.json`.
+    check_regression: bool,
+    /// Escalate regression warnings to a non-zero exit (CI mode; implies
+    /// `check_regression`).
+    strict: bool,
+}
+
+/// Parses the argument list (without the program name).  Unknown flags and
+/// surplus positional arguments are errors so that a typo (`--qiuck`) cannot
+/// silently select the slow full-size defaults.
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        target: String::new(),
+        quick: false,
+        check_regression: false,
+        strict: false,
+    };
+    for arg in args {
+        match arg.as_str() {
+            "--quick" => cli.quick = true,
+            "--check-regression" => cli.check_regression = true,
+            "--strict" => cli.strict = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag '{flag}'\n{USAGE}"));
+            }
+            target if cli.target.is_empty() => cli.target = target.to_string(),
+            surplus => {
+                return Err(format!(
+                    "unexpected argument '{surplus}' (target already set to '{}')\n{USAGE}",
+                    cli.target
+                ));
+            }
+        }
+    }
+    if cli.target.is_empty() {
+        cli.target = "all".to_string();
+    }
+    // `--strict` without the gate would be a silent no-op (the same class of
+    // bug as an ignored `--qiuck` typo), so it implies the gate instead.
+    if cli.strict {
+        cli.check_regression = true;
+    }
+    Ok(cli)
+}
 
 fn write_json<T: Serialize>(name: &str, rows: &T) {
     let dir = Path::new("results");
@@ -130,46 +191,79 @@ fn parse_quick_flag(json: &str) -> Option<bool> {
     }
 }
 
-/// The warn-only bench regression gate: compares this run's per-target times
-/// against `BENCH_baseline.json`.  Never fails the process — it prints
-/// GitHub-annotation-style warnings so CI logs surface drift.
-fn check_regression(record: &BenchRecord) {
-    let baseline_path = Path::new("BENCH_baseline.json");
-    let Ok(text) = fs::read_to_string(baseline_path) else {
-        println!("\n[regression gate] no {} — nothing to compare against (run `reproduce all` once to record it)", baseline_path.display());
-        return;
+/// The bench regression gate: compares this run's per-target times against
+/// `BENCH_baseline.json` and returns the number of regressed targets.  The
+/// caller decides whether that fails the process (`--strict`, CI) or is
+/// warn-only (local runs); annotations are GitHub-flavoured either way.
+fn check_regression(record: &BenchRecord, strict: bool) -> usize {
+    gate_regressions(
+        record,
+        fs::read_to_string(Path::new("BENCH_baseline.json"))
+            .ok()
+            .as_deref(),
+        strict,
+    )
+}
+
+/// The gate logic behind [`check_regression`], with the baseline text passed
+/// in (`None` = no baseline file) so the strict/warn counting is unit-testable
+/// without touching the filesystem.
+fn gate_regressions(record: &BenchRecord, baseline_text: Option<&str>, strict: bool) -> usize {
+    let annotation = if strict { "error" } else { "warning" };
+    // Under --strict a comparison that cannot run is itself a failure: CI
+    // promises the gate fails on any breach, and a deleted / unparsable /
+    // quick-mismatched baseline would otherwise disable the gate silently.
+    let skip = |message: String| -> usize {
+        if strict {
+            println!("::error title=bench regression::{message} (--strict: failing the run, the gate could not compare anything)");
+            1
+        } else {
+            println!("\n[regression gate] {message}; skipping comparison");
+            0
+        }
     };
-    if parse_quick_flag(&text) != Some(record.quick) {
-        println!(
-            "\n[regression gate] baseline quick={:?} does not match this run (quick={}); skipping comparison",
-            parse_quick_flag(&text),
+    let Some(text) = baseline_text else {
+        return skip(
+            "no BENCH_baseline.json — nothing to compare against (run `reproduce all` once to record it)"
+                .to_string(),
+        );
+    };
+    if parse_quick_flag(text) != Some(record.quick) {
+        return skip(format!(
+            "baseline quick={:?} does not match this run (quick={})",
+            parse_quick_flag(text),
             record.quick
-        );
-        return;
+        ));
     }
-    let baseline = parse_recorded_targets(&text);
+    let baseline = parse_recorded_targets(text);
     if baseline.is_empty() {
-        println!(
-            "\n[regression gate] {} has no parsable targets; skipping",
-            baseline_path.display()
-        );
-        return;
+        return skip("BENCH_baseline.json has no parsable targets".to_string());
     }
-    println!("\n[regression gate] comparing against {} (warn at > {REGRESSION_FACTOR}x + {REGRESSION_SLACK_MS} ms):", baseline_path.display());
+    println!("\n[regression gate] comparing against BENCH_baseline.json ({} at > {REGRESSION_FACTOR}x + {REGRESSION_SLACK_MS} ms):", if strict { "fail" } else { "warn" });
     let mut regressed = 0usize;
     for t in &record.targets {
         let Some(&(_, base_ms)) = baseline.iter().find(|(name, _)| name == t.target) else {
-            println!(
-                "  {:<12} {:>9.1} ms (no baseline entry)",
-                t.target, t.wall_ms
-            );
+            if strict {
+                // CI gates every target: a new target without a baseline
+                // entry must fail loudly, not stay silently ungated forever.
+                regressed += 1;
+                println!(
+                    "::error title=bench regression::{} has no entry in BENCH_baseline.json (add one so the target is gated)",
+                    t.target
+                );
+            } else {
+                println!(
+                    "  {:<12} {:>9.1} ms (no baseline entry)",
+                    t.target, t.wall_ms
+                );
+            }
             continue;
         };
         let limit = REGRESSION_FACTOR * base_ms + REGRESSION_SLACK_MS;
         if t.wall_ms > limit {
             regressed += 1;
             println!(
-                "::warning title=bench regression::{} took {:.1} ms vs baseline {:.1} ms (limit {:.1} ms)",
+                "::{annotation} title=bench regression::{} took {:.1} ms vs baseline {:.1} ms (limit {:.1} ms)",
                 t.target, t.wall_ms, base_ms, limit
             );
         } else {
@@ -184,11 +278,14 @@ fn check_regression(record: &BenchRecord) {
             "[regression gate] all {} targets within tolerance",
             record.targets.len()
         );
+    } else if strict {
+        println!("[regression gate] {regressed} target(s) regressed (--strict: failing the run)");
     } else {
         println!(
             "[regression gate] {regressed} target(s) regressed (warn-only; not failing the run)"
         );
     }
+    regressed
 }
 
 /// Runs `f`, printing and returning its wall-clock time.
@@ -381,23 +478,81 @@ fn run_appendix_b(quick: bool) {
     write_json("appendix_b_nq", &rows);
 }
 
+fn run_sweep(quick: bool) {
+    let config = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::full()
+    };
+    println!(
+        "\n=== Scaling sweep: rounds vs. per-instance lower bound ({} families x {} sizes x {} (lambda, gamma) points) ===",
+        GraphFamily::all().len(),
+        config.sizes.len(),
+        config.points.len()
+    );
+    println!(
+        "{:<18}{:>6} {:<14}{:>6}{:>7}{:>7}{:>11}{:>10}{:>8}{:>9}{:>10}{:>8}{:>7}{:>9}{:>9}{:>8}",
+        "family",
+        "n",
+        "point",
+        "gamma",
+        "k",
+        "NQ_k",
+        "diss-rnds",
+        "diss-LB",
+        "ratio",
+        "NQ-ratio",
+        "sssp-rnds",
+        "ratio",
+        "k-SSP",
+        "rounds",
+        "LB",
+        "ratio"
+    );
+    let rows = sweep_rows(GraphFamily::all(), &config);
+    for r in &rows {
+        println!(
+            "{:<18}{:>6} {:<14}{:>6}{:>7}{:>7}{:>11}{:>10.2}{:>8.2}{:>9.2}{:>10}{:>8.2}{:>7}{:>9}{:>9}{:>8.2}",
+            r.family,
+            r.n,
+            r.point,
+            r.gamma_msgs,
+            r.k,
+            r.nq_k,
+            r.dissemination_rounds,
+            r.dissemination_lower_bound,
+            r.dissemination_ratio,
+            r.dissemination_nq_ratio,
+            r.sssp_rounds,
+            r.sssp_ratio,
+            r.kssp_k,
+            r.kssp_rounds,
+            r.kssp_lower_bound,
+            r.kssp_ratio
+        );
+    }
+    write_json("sweep_scaling", &rows);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let check = args.iter().any(|a| a == "--check-regression");
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let quick = cli.quick;
 
-    let timings = match what.as_str() {
+    let timings = match cli.target.as_str() {
         "table1" => vec![timed("table1", || run_table1(quick))],
         "table2" => vec![timed("table2", || run_table2(quick))],
         "table3" => vec![timed("table3", || run_table3(quick))],
         "table4" => vec![timed("table4", || run_table4(quick))],
         "figure1" => vec![timed("figure1", || run_figure1(quick))],
         "appendix-b" => vec![timed("appendix-b", || run_appendix_b(quick))],
+        "sweep" => vec![timed("sweep", || run_sweep(quick))],
         "all" => vec![
             timed("table1", || run_table1(quick)),
             timed("table2", || run_table2(quick)),
@@ -405,11 +560,10 @@ fn main() {
             timed("table4", || run_table4(quick)),
             timed("figure1", || run_figure1(quick)),
             timed("appendix-b", || run_appendix_b(quick)),
+            timed("sweep", || run_sweep(quick)),
         ],
         other => {
-            eprintln!(
-                "unknown target '{other}'; expected table1|table2|table3|table4|figure1|appendix-b|all"
-            );
+            eprintln!("unknown target '{other}'\n{USAGE}");
             std::process::exit(2);
         }
     };
@@ -421,8 +575,132 @@ fn main() {
         targets: timings,
         total_wall_ms,
     };
-    record.write(what == "all");
-    if check {
-        check_regression(&record);
+    record.write(cli.target == "all");
+    if cli.check_regression {
+        let regressed = check_regression(&record, cli.strict);
+        if cli.strict && regressed > 0 {
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_to_all() {
+        let cli = parse_args(&[]).unwrap();
+        assert_eq!(cli.target, "all");
+        assert!(!cli.quick && !cli.check_regression && !cli.strict);
+    }
+
+    #[test]
+    fn parses_target_and_flags_in_any_order() {
+        let cli = parse_args(&args(&[
+            "--quick",
+            "sweep",
+            "--check-regression",
+            "--strict",
+        ]))
+        .unwrap();
+        assert_eq!(cli.target, "sweep");
+        assert!(cli.quick && cli.check_regression && cli.strict);
+    }
+
+    #[test]
+    fn strict_implies_the_regression_gate() {
+        // `--strict` alone must not be a silent no-op.
+        let cli = parse_args(&args(&["all", "--strict"])).unwrap();
+        assert!(cli.strict && cli.check_regression);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_with_usage() {
+        // The motivating bug: `--qiuck` used to be silently ignored and the
+        // slow full-size suite ran instead.
+        let err = parse_args(&args(&["table1", "--qiuck"])).unwrap_err();
+        assert!(err.contains("unknown flag '--qiuck'"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+        assert!(parse_args(&args(&["--check-regresion"])).is_err());
+    }
+
+    #[test]
+    fn rejects_surplus_positional_arguments() {
+        let err = parse_args(&args(&["table1", "table2"])).unwrap_err();
+        assert!(err.contains("unexpected argument 'table2'"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+    }
+
+    #[test]
+    fn baseline_parsers_extract_quick_flag_and_targets() {
+        let json = r#"{"quick": true, "targets": [
+            {"target": "table1", "wall_ms": 10.0},
+            {"target": "sweep", "wall_ms": 20.0}
+        ]}"#;
+        assert_eq!(parse_quick_flag(json), Some(true));
+        let parsed = parse_recorded_targets(json);
+        assert_eq!(
+            parsed,
+            vec![("table1".to_string(), 10.0), ("sweep".to_string(), 20.0)]
+        );
+    }
+
+    fn record(targets: Vec<(&'static str, f64)>) -> BenchRecord {
+        let targets: Vec<TargetTiming> = targets
+            .into_iter()
+            .map(|(target, wall_ms)| TargetTiming { target, wall_ms })
+            .collect();
+        BenchRecord {
+            schema: "hybrid-bench-baseline/v1",
+            quick: true,
+            threads: 1,
+            total_wall_ms: targets.iter().map(|t| t.wall_ms).sum(),
+            targets,
+        }
+    }
+
+    const BASELINE: &str = r#"{"quick": true, "targets": [
+        {"target": "table1", "wall_ms": 10.0},
+        {"target": "sweep", "wall_ms": 20.0}
+    ]}"#;
+
+    #[test]
+    fn gate_counts_breaches_of_the_tolerance() {
+        // table1 limit = 2*10 + 100 = 120 ms; sweep limit = 140 ms.
+        let rec = record(vec![("table1", 500.0), ("sweep", 30.0)]);
+        assert_eq!(gate_regressions(&rec, Some(BASELINE), false), 1);
+        assert_eq!(gate_regressions(&rec, Some(BASELINE), true), 1);
+        let within = record(vec![("table1", 119.0), ("sweep", 139.0)]);
+        assert_eq!(gate_regressions(&within, Some(BASELINE), true), 0);
+    }
+
+    #[test]
+    fn strict_gate_fails_targets_missing_a_baseline_entry() {
+        let rec = record(vec![("brand-new-target", 1.0)]);
+        // Warn-only: an ungated target is reported but not counted.
+        assert_eq!(gate_regressions(&rec, Some(BASELINE), false), 0);
+        // Strict (CI): new targets must be gated from day one.
+        assert_eq!(gate_regressions(&rec, Some(BASELINE), true), 1);
+    }
+
+    #[test]
+    fn strict_gate_fails_when_the_comparison_cannot_run() {
+        let rec = record(vec![("table1", 1.0)]);
+        // Missing baseline file.
+        assert_eq!(gate_regressions(&rec, None, false), 0);
+        assert_eq!(gate_regressions(&rec, None, true), 1);
+        // quick-flag mismatch (baseline quick=false vs run quick=true).
+        let full = r#"{"quick": false, "targets": [{"target": "table1", "wall_ms": 10.0}]}"#;
+        assert_eq!(gate_regressions(&rec, Some(full), false), 0);
+        assert_eq!(gate_regressions(&rec, Some(full), true), 1);
+        // Unparsable baseline.
+        let junk = r#"{"quick": true, "targets": []}"#;
+        assert_eq!(gate_regressions(&rec, Some(junk), false), 0);
+        assert_eq!(gate_regressions(&rec, Some(junk), true), 1);
     }
 }

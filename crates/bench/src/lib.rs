@@ -8,7 +8,9 @@
 //! * Table 3 — `(k, ℓ)`-SP;
 //! * Table 4 — SSSP;
 //! * Figure 1 — the k-SSP complexity landscape;
-//! * Appendix B / Theorems 15–17 — `NQ_k` on special graph families.
+//! * Appendix B / Theorems 15–17 — `NQ_k` on special graph families;
+//! * Scaling sweeps (the [`sweep`] module) — competitive-ratio curves against
+//!   the per-instance lower bound over a `family × size × (λ, γ)` grid.
 //!
 //! The round-count reproduction lives in the [`scenarios`] module and is
 //! driven by the `reproduce` binary (`cargo run -p hybrid-bench --bin
@@ -18,7 +20,9 @@
 //! same scenarios.
 
 pub mod scenarios;
+pub mod sweep;
 
 pub use scenarios::{
     appendix_b_rows, figure1_rows, table1_rows, table2_rows, table3_rows, table4_rows, GraphFamily,
 };
+pub use sweep::{sweep_rows, SweepConfig, SweepPoint, SweepRow};

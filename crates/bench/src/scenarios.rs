@@ -48,6 +48,14 @@ pub enum GraphFamily {
     RandomGeometric,
     /// Two-level leaf–spine data-center topology.
     FatTree,
+    /// Chung–Lu power-law graph (heavy-tailed degrees; the regime where the
+    /// HYBRID global capacity dominates the round complexity).
+    ChungLu,
+    /// Ring of cliques (clustered small-world with a tunable cut).
+    RingOfCliques,
+    /// Barbell: two cliques joined by a path (bottleneck stress for the
+    /// γ-capacitated global scheduler).
+    Barbell,
 }
 
 impl GraphFamily {
@@ -62,6 +70,9 @@ impl GraphFamily {
             GraphFamily::ErdosRenyi,
             GraphFamily::RandomGeometric,
             GraphFamily::FatTree,
+            GraphFamily::ChungLu,
+            GraphFamily::RingOfCliques,
+            GraphFamily::Barbell,
         ]
     }
 
@@ -86,6 +97,9 @@ impl GraphFamily {
             GraphFamily::ErdosRenyi => "erdos-renyi",
             GraphFamily::RandomGeometric => "random-geometric",
             GraphFamily::FatTree => "fat-tree",
+            GraphFamily::ChungLu => "chung-lu",
+            GraphFamily::RingOfCliques => "ring-of-cliques",
+            GraphFamily::Barbell => "barbell",
         }
     }
 
@@ -121,14 +135,31 @@ impl GraphFamily {
                 let hosts = (n.saturating_sub(12)).max(8) / 8;
                 generators::fat_tree(4, 8, hosts.max(1)).expect("fat-tree")
             }
+            GraphFamily::ChungLu => generators::chung_lu(n, 2.5, 6.0, &mut rng).expect("chung-lu"),
+            GraphFamily::RingOfCliques => {
+                // Cliques of 8 with a 2-edge cut; ring length scales with n.
+                let cliques = (n / 8).max(3);
+                generators::ring_of_cliques(cliques, 8, 2).expect("ring-of-cliques")
+            }
+            GraphFamily::Barbell => {
+                // Cliques take ~3/8 n each; the bridge path the remaining ~n/4.
+                let clique = (3 * n / 8).max(2);
+                generators::barbell(clique, n.saturating_sub(2 * clique)).expect("barbell")
+            }
         }
     }
 
     /// Builds a weighted instance (random weights in `[1, 32]`).
     pub fn build_weighted(&self, n_target: usize, seed: u64) -> Graph {
-        let base = self.build(n_target, seed);
+        self.reweight(&self.build(n_target, seed), seed)
+    }
+
+    /// Re-weights an already-built instance exactly as [`Self::build_weighted`]
+    /// would (same seed derivation, random weights in `[1, 32]`), so callers
+    /// holding the unweighted graph skip the second topology build.
+    pub fn reweight(&self, base: &Graph, seed: u64) -> Graph {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5E_ED0F_EE61_u64);
-        generators::with_random_weights(&base, 32, &mut rng).expect("weighted")
+        generators::with_random_weights(base, 32, &mut rng).expect("weighted")
     }
 }
 

@@ -11,6 +11,7 @@
 //! compare the serialized rows byte for byte.
 
 use hybrid_bench::scenarios::{figure1_rows, table1_rows, table2_rows, GraphFamily};
+use hybrid_bench::sweep::{sweep_rows, SweepConfig};
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 
@@ -51,6 +52,23 @@ fn figure1_pipeline_bit_identical_across_pool_sizes() {
     for threads in &WIDTHS[1..] {
         let got = on_pool(*threads, run);
         assert_eq!(got, reference, "figure1 rows diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn sweep_quick_rows_bit_identical_across_pool_sizes() {
+    // The exact `reproduce sweep --quick` grid (every family × 3 sizes ×
+    // 3 (λ, γ) points): the per-(family, n) fan-out shares one graph and
+    // oracle across grid points, so this also pins that the point loop stays
+    // inside its cell's RNG streams at every pool width.
+    let run = || {
+        serde_json::to_string_pretty(&sweep_rows(GraphFamily::all(), &SweepConfig::quick()))
+            .unwrap()
+    };
+    let reference = on_pool(1, run);
+    for threads in &WIDTHS[1..] {
+        let got = on_pool(*threads, run);
+        assert_eq!(got, reference, "sweep rows diverged at {threads} threads");
     }
 }
 

@@ -325,6 +325,137 @@ pub fn fat_tree(spines: usize, leaves: usize, hosts_per_leaf: usize) -> Result<G
     b.build()
 }
 
+/// Chung–Lu random graph with a power-law expected-degree sequence: node `i`
+/// gets weight `w_i ∝ (i + 1)^{-1/(exponent - 1)}`, scaled so the average
+/// expected degree is `avg_degree`, and each pair `{u, v}` is joined
+/// independently with probability `min(1, w_u·w_v / Σw)`.  The resulting
+/// degree distribution is heavy-tailed with tail exponent ≈ `exponent` —
+/// high-degree hubs next to long low-degree fringes, the regime where the
+/// per-node global capacity `γ` (not `√k`) governs HYBRID round complexity.
+///
+/// Connectivity is restored deterministically: every component not containing
+/// node 0 (the maximum-weight hub) is attached to node 0 through its
+/// lowest-index member, mimicking a scale-free network whose stragglers peer
+/// with the dominant hub.
+pub fn chung_lu(n: usize, exponent: f64, avg_degree: f64, rng: &mut impl Rng) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::Empty);
+    }
+    if exponent <= 1.0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("chung_lu requires a tail exponent > 1, got {exponent}"),
+        });
+    }
+    if avg_degree <= 0.0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("chung_lu requires a positive average degree, got {avg_degree}"),
+        });
+    }
+    let alpha = 1.0 / (exponent - 1.0);
+    let raw: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let raw_sum: f64 = raw.iter().sum();
+    // Scale so Σw = n·avg_degree, making the expected degree of node u
+    // approximately w_u (before the min(1, ·) clipping).
+    let scale = n as f64 * avg_degree / raw_sum;
+    let w: Vec<f64> = raw.iter().map(|r| r * scale).collect();
+    let total: f64 = n as f64 * avg_degree;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = (w[u] * w[v] / total).min(1.0);
+            if rng.gen_bool(p) {
+                b.add_unweighted_edge(u as NodeId, v as NodeId)?;
+            }
+        }
+    }
+    // Attach every stray component to the hub (node 0) through its
+    // lowest-index node — deterministic given the edges drawn above.
+    if n > 1 {
+        let g = b.clone().build_unchecked_connectivity();
+        let (comp, count) = crate::traversal::connected_components(&g);
+        if count > 1 {
+            let mut attached = vec![false; count];
+            attached[comp[0]] = true;
+            for v in 1..n {
+                if !attached[comp[v]] {
+                    attached[comp[v]] = true;
+                    b.add_unweighted_edge(0, v as NodeId)?;
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Ring of cliques: `cliques` cliques of `clique_size` nodes arranged in a
+/// cycle, each adjacent pair joined by `bridges` parallel-free edges (bridge
+/// `i` connects node `i` of one clique to node `i` of the next).  A clustered
+/// small-world family with a tunable cut: locally dense (`NQ_k` small inside
+/// a clique) but globally cycle-like, so dissemination must cross `bridges`
+/// edges per cut — stressing the interplay of local flooding and the global
+/// scheduler.  `bridges` must be at most `clique_size`.
+pub fn ring_of_cliques(cliques: usize, clique_size: usize, bridges: usize) -> Result<Graph> {
+    if cliques < 3 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("ring_of_cliques requires >= 3 cliques, got {cliques}"),
+        });
+    }
+    if clique_size == 0 {
+        return Err(GraphError::Empty);
+    }
+    if bridges == 0 || bridges > clique_size {
+        return Err(GraphError::InvalidParameter {
+            reason: format!(
+                "ring_of_cliques requires 1 <= bridges <= clique_size, got {bridges} bridges for clique size {clique_size}"
+            ),
+        });
+    }
+    let n = cliques * clique_size;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..cliques {
+        let base = c * clique_size;
+        for u in 0..clique_size {
+            for v in (u + 1)..clique_size {
+                b.add_unweighted_edge((base + u) as NodeId, (base + v) as NodeId)?;
+            }
+        }
+        let next_base = ((c + 1) % cliques) * clique_size;
+        for i in 0..bridges {
+            b.add_unweighted_edge((base + i) as NodeId, (next_base + i) as NodeId)?;
+        }
+    }
+    b.build()
+}
+
+/// Barbell graph: two cliques of `clique` nodes joined by a path of
+/// `path_len` intermediate nodes.  The archetypal bottleneck topology — all
+/// clique-to-clique traffic funnels through one path — which stresses the
+/// γ-capacitated global scheduler exactly where the paper's universal lower
+/// bound (the node communication problem across the narrow cut) is tight.
+pub fn barbell(clique: usize, path_len: usize) -> Result<Graph> {
+    if clique == 0 {
+        return Err(GraphError::Empty);
+    }
+    let n = 2 * clique + path_len;
+    let mut b = GraphBuilder::new(n);
+    // Clique A: nodes [0, clique); path: [clique, clique + path_len);
+    // clique B: [clique + path_len, n).
+    for base in [0, clique + path_len] {
+        for u in 0..clique {
+            for v in (u + 1)..clique {
+                b.add_unweighted_edge((base + u) as NodeId, (base + v) as NodeId)?;
+            }
+        }
+    }
+    let mut prev = clique - 1; // last node of clique A
+    for p in 0..path_len {
+        b.add_unweighted_edge(prev as NodeId, (clique + p) as NodeId)?;
+        prev = clique + p;
+    }
+    b.add_unweighted_edge(prev as NodeId, (clique + path_len) as NodeId)?;
+    b.build()
+}
+
 /// Replaces every edge weight by an independent uniform weight in `[1, max_weight]`.
 pub fn with_random_weights(graph: &Graph, max_weight: Weight, rng: &mut impl Rng) -> Result<Graph> {
     if max_weight == 0 {
@@ -492,6 +623,84 @@ mod tests {
         assert_eq!(g.m(), 4 * 8 + 80);
         assert_eq!(diameter(&g), 4);
         assert!(fat_tree(0, 3, 2).is_err());
+    }
+
+    #[test]
+    fn chung_lu_connected_seeded_and_heavy_tailed() {
+        let g1 = chung_lu(300, 2.5, 6.0, &mut rng(42)).unwrap();
+        let g2 = chung_lu(300, 2.5, 6.0, &mut rng(42)).unwrap();
+        assert_eq!(g1.edges(), g2.edges(), "not seed-deterministic");
+        assert_eq!(g1.n(), 300);
+        let (_, c) = connected_components(&g1);
+        assert_eq!(c, 1, "not connected");
+        // Heavy tail: the hub degree dwarfs the average degree.
+        let degrees: Vec<usize> = g1.nodes().map(|v| g1.degree(v)).collect();
+        let max_deg = *degrees.iter().max().unwrap();
+        let avg_deg = 2.0 * g1.m() as f64 / g1.n() as f64;
+        assert!(
+            max_deg as f64 >= 4.0 * avg_deg,
+            "no hub: max degree {max_deg} vs average {avg_deg:.1}"
+        );
+        // The hub is node 0 (maximum weight).
+        assert_eq!(g1.degree(0), max_deg);
+        assert!(chung_lu(0, 2.5, 6.0, &mut rng(0)).is_err());
+        assert!(chung_lu(10, 1.0, 6.0, &mut rng(0)).is_err());
+        assert!(chung_lu(10, 2.5, 0.0, &mut rng(0)).is_err());
+    }
+
+    #[test]
+    fn chung_lu_average_degree_in_the_right_regime() {
+        let g = chung_lu(400, 2.5, 6.0, &mut rng(7)).unwrap();
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        // min(1, ·) clipping and stitching shift the average a little; it must
+        // stay in the same regime as the requested expected degree.
+        assert!((2.0..=12.0).contains(&avg), "average degree {avg:.2}");
+    }
+
+    #[test]
+    fn ring_of_cliques_shape() {
+        let g = ring_of_cliques(5, 4, 2).unwrap();
+        assert_eq!(g.n(), 20);
+        // 5 cliques of C(4,2)=6 edges plus 5 cuts of 2 bridges.
+        assert_eq!(g.m(), 5 * 6 + 5 * 2);
+        let (_, c) = connected_components(&g);
+        assert_eq!(c, 1);
+        // Singleton cliques with one bridge degenerate to a cycle.
+        let ring = ring_of_cliques(7, 1, 1).unwrap();
+        let cyc = cycle(7).unwrap();
+        assert_eq!(ring.m(), cyc.m());
+        assert!(ring_of_cliques(2, 4, 1).is_err());
+        assert!(ring_of_cliques(4, 3, 4).is_err());
+        assert!(ring_of_cliques(4, 3, 0).is_err());
+        assert!(ring_of_cliques(4, 0, 1).is_err());
+    }
+
+    #[test]
+    fn ring_of_cliques_diameter_scales_with_ring() {
+        // Crossing c cliques costs ≥ c hops, so the diameter grows with the
+        // ring length while staying small within a clique.
+        let short = ring_of_cliques(4, 6, 1).unwrap();
+        let long = ring_of_cliques(12, 2, 1).unwrap();
+        assert!(diameter(&long) > diameter(&short));
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(5, 3).unwrap();
+        assert_eq!(g.n(), 13);
+        // Two C(5,2)=10 cliques plus a 3-node path contributing 4 edges.
+        assert_eq!(g.m(), 2 * 10 + 4);
+        let (_, c) = connected_components(&g);
+        assert_eq!(c, 1);
+        // Diameter: 1 (clique A) + 4 (path edges) + 1 (clique B).
+        assert_eq!(diameter(&g), 6);
+        // Degenerate cases still build connected graphs.
+        let direct = barbell(4, 0).unwrap();
+        assert_eq!(direct.n(), 8);
+        assert_eq!(direct.m(), 2 * 6 + 1);
+        let k2 = barbell(1, 0).unwrap();
+        assert_eq!((k2.n(), k2.m()), (2, 1));
+        assert!(barbell(0, 3).is_err());
     }
 
     #[test]

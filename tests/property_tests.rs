@@ -450,3 +450,60 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The scenario-matrix generators build connected graphs of exactly the
+    /// advertised size, deterministically per seed.  (Hub dominance is *not*
+    /// asserted here: at small `n` with a high tail exponent the weight
+    /// sequence is nearly flat and sampling noise can out-degree node 0 —
+    /// the heavy-tail shape is pinned by the fixed-parameter unit tests in
+    /// `hybrid-graph::generators` instead.)
+    #[test]
+    fn chung_lu_exact_size_connected_deterministic(
+        n in 20usize..200,
+        exponent in 2.1f64..3.5,
+        avg in 3.0f64..8.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::chung_lu(n, exponent, avg, &mut rng).unwrap();
+        prop_assert_eq!(g.n(), n);
+        prop_assert!(g.m() >= n - 1, "connected graphs have >= n-1 edges");
+        let (_, c) = hybrid::graph::traversal::connected_components(&g);
+        prop_assert_eq!(c, 1);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(seed);
+        let g2 = generators::chung_lu(n, exponent, avg, &mut rng2).unwrap();
+        prop_assert_eq!(g.edges(), g2.edges());
+    }
+
+    /// Ring-of-cliques: exact node and edge counts from the parameters.
+    #[test]
+    fn ring_of_cliques_exact_shape(
+        cliques in 3usize..12,
+        size in 2usize..9,
+        bridges in 1usize..4,
+    ) {
+        let bridges = bridges.min(size);
+        let g = generators::ring_of_cliques(cliques, size, bridges).unwrap();
+        prop_assert_eq!(g.n(), cliques * size);
+        prop_assert_eq!(g.m(), cliques * (size * (size - 1) / 2) + cliques * bridges);
+        let (_, c) = hybrid::graph::traversal::connected_components(&g);
+        prop_assert_eq!(c, 1);
+    }
+
+    /// Barbell: exact node and edge counts, and the bridge path really is the
+    /// cut — the diameter grows linearly with the path length.
+    #[test]
+    fn barbell_exact_shape(clique in 2usize..12, path in 0usize..20) {
+        let g = generators::barbell(clique, path).unwrap();
+        prop_assert_eq!(g.n(), 2 * clique + path);
+        prop_assert_eq!(g.m(), clique * (clique - 1) + path + 1);
+        let (_, c) = hybrid::graph::traversal::connected_components(&g);
+        prop_assert_eq!(c, 1);
+        let d = hybrid::graph::properties::diameter(&g);
+        let expected = if clique > 1 { path as u64 + 3 } else { path as u64 + 1 };
+        prop_assert_eq!(d, expected);
+    }
+}
