@@ -5,7 +5,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p hybrid-bench --bin reproduce -- [table1|table2|table3|table4|figure1|appendix-b|sweep|all] [--quick] [--check-regression] [--strict]
+//! cargo run --release -p hybrid-bench --bin reproduce -- [table1|table2|table3|table4|figure1|appendix-b|sweep|faults|all] [--quick] [--check-regression] [--strict]
 //! ```
 //!
 //! `--quick` shrinks the instance sizes so the full run finishes in well under
@@ -27,6 +27,7 @@ use std::fs;
 use std::path::Path;
 use std::time::Instant;
 
+use hybrid_bench::faults_sweep::{fault_sweep_rows, FaultSweepConfig};
 use hybrid_bench::scenarios::{
     appendix_b_rows, figure1_rows, table1_rows, table2_rows, table3_rows, table4_rows, GraphFamily,
 };
@@ -34,7 +35,7 @@ use hybrid_bench::sweep::{sweep_rows, SweepConfig};
 use serde::Serialize;
 
 const USAGE: &str =
-    "usage: reproduce [table1|table2|table3|table4|figure1|appendix-b|sweep|all] [--quick] [--check-regression] [--strict]";
+    "usage: reproduce [table1|table2|table3|table4|figure1|appendix-b|sweep|faults|all] [--quick] [--check-regression] [--strict]";
 
 /// Parsed command line of the `reproduce` binary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -534,6 +535,61 @@ fn run_sweep(quick: bool) {
     write_json("sweep_scaling", &rows);
 }
 
+fn run_faults(quick: bool) {
+    let config = if quick {
+        FaultSweepConfig::quick()
+    } else {
+        FaultSweepConfig::full()
+    };
+    let families = GraphFamily::core_families();
+    println!(
+        "\n=== Fault sweep: degradation factors under a seeded adversary ({} families x {} sizes x {} profiles) ===",
+        families.len(),
+        config.sizes.len(),
+        config.profiles.len()
+    );
+    println!(
+        "{:<14}{:>6} {:<9}{:>6}{:>6}{:>6}{:>6} {:>5}{:>9}{:>8}{:>9}{:>6}{:>9}{:>8}{:>9}",
+        "family",
+        "n",
+        "profile",
+        "drop",
+        "dup",
+        "delay",
+        "crash",
+        "ok",
+        "ack-rnds",
+        "ack-deg",
+        "ack-msgx",
+        "k",
+        "T1-rnds",
+        "T1-deg",
+        "T1-msgx"
+    );
+    let rows = fault_sweep_rows(families, &config);
+    for r in &rows {
+        println!(
+            "{:<14}{:>6} {:<9}{:>6.2}{:>6.2}{:>6.2}{:>6.2} {:>5}{:>9}{:>8.2}{:>9.2}{:>6}{:>9}{:>8.2}{:>9.2}",
+            r.family,
+            r.n,
+            r.profile,
+            r.drop_prob,
+            r.duplicate_prob,
+            r.delay_prob,
+            r.crash_prob,
+            if r.ack_completed { "yes" } else { "NO" },
+            r.ack_rounds,
+            r.ack_degradation,
+            r.ack_message_overhead,
+            r.k,
+            r.diss_rounds,
+            r.diss_degradation,
+            r.diss_message_overhead
+        );
+    }
+    write_json("sweep_faults", &rows);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
@@ -553,6 +609,7 @@ fn main() {
         "figure1" => vec![timed("figure1", || run_figure1(quick))],
         "appendix-b" => vec![timed("appendix-b", || run_appendix_b(quick))],
         "sweep" => vec![timed("sweep", || run_sweep(quick))],
+        "faults" => vec![timed("faults", || run_faults(quick))],
         "all" => vec![
             timed("table1", || run_table1(quick)),
             timed("table2", || run_table2(quick)),
@@ -561,6 +618,7 @@ fn main() {
             timed("figure1", || run_figure1(quick)),
             timed("appendix-b", || run_appendix_b(quick)),
             timed("sweep", || run_sweep(quick)),
+            timed("faults", || run_faults(quick)),
         ],
         other => {
             eprintln!("unknown target '{other}'\n{USAGE}");

@@ -10,7 +10,10 @@
 //! * Figure 1 — the k-SSP complexity landscape;
 //! * Appendix B / Theorems 15–17 — `NQ_k` on special graph families;
 //! * Scaling sweeps (the [`sweep`] module) — competitive-ratio curves against
-//!   the per-instance lower bound over a `family × size × (λ, γ)` grid.
+//!   the per-instance lower bound over a `family × size × (λ, γ)` grid;
+//! * Fault sweeps (the [`faults_sweep`] module) — degradation-factor curves
+//!   under a seeded fault-injection adversary over a `family × size ×
+//!   fault-profile` grid.
 //!
 //! The round-count reproduction lives in the [`scenarios`] module and is
 //! driven by the `reproduce` binary (`cargo run -p hybrid-bench --bin
@@ -19,9 +22,11 @@
 //! measure the wall-clock performance of the implementation itself on the
 //! same scenarios.
 
+pub mod faults_sweep;
 pub mod scenarios;
 pub mod sweep;
 
+pub use faults_sweep::{fault_sweep_rows, FaultProfile, FaultSweepConfig, FaultSweepRow};
 pub use scenarios::{
     appendix_b_rows, figure1_rows, table1_rows, table2_rows, table3_rows, table4_rows, GraphFamily,
 };

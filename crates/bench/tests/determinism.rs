@@ -10,6 +10,7 @@
 //! scenario fan-out) — on explicit pools of 1, 2, 4 and 8 threads and
 //! compare the serialized rows byte for byte.
 
+use hybrid_bench::faults_sweep::{fault_sweep_rows, FaultSweepConfig};
 use hybrid_bench::scenarios::{figure1_rows, table1_rows, table2_rows, GraphFamily};
 use hybrid_bench::sweep::{sweep_rows, SweepConfig};
 use rayon::prelude::*;
@@ -69,6 +70,38 @@ fn sweep_quick_rows_bit_identical_across_pool_sizes() {
     for threads in &WIDTHS[1..] {
         let got = on_pool(*threads, run);
         assert_eq!(got, reference, "sweep rows diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn fault_sweep_rows_bit_identical_across_pool_sizes() {
+    // The fault plane's decisions are pure hashes of a seeded key, so the
+    // adversary itself must be thread-invariant: the same seed has to drop,
+    // duplicate, delay and crash exactly the same messages whether the
+    // per-cell fan-out runs on 1 worker or 8.  A shrunk grid (one size, the
+    // failure-free reference plus a drop and the combined chaos profile)
+    // keeps this fast while still exercising every fault class.
+    let run = || {
+        let config = FaultSweepConfig {
+            sizes: vec![48],
+            profiles: FaultSweepConfig::quick()
+                .profiles
+                .into_iter()
+                .filter(|p| matches!(p.name, "none" | "drop-35" | "chaos"))
+                .collect(),
+            seed: 0xFA17,
+            max_rounds: 50_000,
+        };
+        serde_json::to_string_pretty(&fault_sweep_rows(GraphFamily::core_families(), &config))
+            .unwrap()
+    };
+    let reference = on_pool(1, run);
+    for threads in &WIDTHS[1..] {
+        let got = on_pool(*threads, run);
+        assert_eq!(
+            got, reference,
+            "fault sweep rows diverged at {threads} threads"
+        );
     }
 }
 

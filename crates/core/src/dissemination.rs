@@ -201,7 +201,7 @@ pub fn disseminate_with_radius(
             chaining_msgs.push(GlobalMessage::new(counterpart, member));
         }
     }
-    net.deliver_global("dissemination/cluster-chaining", &chaining_msgs);
+    crate::deliver_global_checked(net, "dissemination/cluster-chaining", &chaining_msgs);
 
     // Phase 3: per-cluster load balancing of the initial tokens (Lemma 4.1).
     //
@@ -262,7 +262,7 @@ pub fn disseminate_with_radius(
                 "dissemination/load-balance",
                 2 * clustering.weak_diameter_bound.max(1),
             );
-            net.deliver_global("dissemination/converge-cast-up", &batch);
+            crate::deliver_global_checked(net, "dissemination/converge-cast-up", &batch);
         }
         for (parent_idx, child_idx) in merges {
             let (dst, src) = if parent_idx < child_idx {
@@ -309,7 +309,7 @@ pub fn disseminate_with_radius(
                 "dissemination/load-balance",
                 2 * clustering.weak_diameter_bound.max(1),
             );
-            net.deliver_global("dissemination/broadcast-down", &batch);
+            crate::deliver_global_checked(net, "dissemination/broadcast-down", &batch);
         }
     }
 
@@ -427,7 +427,7 @@ pub fn k_aggregation(
                 "aggregation/load-balance",
                 2 * clustering.weak_diameter_bound.max(1),
             );
-            net.deliver_global("aggregation/converge-cast-up", &batch);
+            crate::deliver_global_checked(net, "aggregation/converge-cast-up", &batch);
         }
         for (parent_idx, child_values) in merges {
             for i in 0..k {

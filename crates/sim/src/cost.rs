@@ -26,6 +26,13 @@ pub struct PhaseRecord {
     /// Messages sent during the phase (`O(log n)`-bit units for global
     /// phases; edge-message count for local phases).
     pub messages: u64,
+    /// Delivery attempts dropped during the phase — γ receive-cap overflow or
+    /// injected message loss (zero in failure-free runs by construction).
+    pub dropped: u64,
+    /// Extra message copies delivered by fault-injected duplication.
+    pub duplicated: u64,
+    /// Delivery attempts held back by fault-injected delay.
+    pub delayed: u64,
 }
 
 /// Accumulates the cost of an algorithm execution: total rounds, message
@@ -35,6 +42,9 @@ pub struct CostMeter {
     rounds: u64,
     local_messages: u64,
     global_messages: u64,
+    dropped: u64,
+    duplicated: u64,
+    delayed: u64,
     trace: Vec<PhaseRecord>,
 }
 
@@ -59,6 +69,22 @@ impl CostMeter {
         self.global_messages
     }
 
+    /// Total delivery attempts dropped (γ receive-cap overflow plus injected
+    /// message loss).  Zero in failure-free runs.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total extra message copies delivered by injected duplication.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Total delivery attempts held back by injected delay.
+    pub fn delayed(&self) -> u64 {
+        self.delayed
+    }
+
     /// The per-phase trace.
     pub fn trace(&self) -> &[PhaseRecord] {
         &self.trace
@@ -73,18 +99,42 @@ impl CostMeter {
             kind: PhaseKind::Local,
             rounds,
             messages,
+            dropped: 0,
+            duplicated: 0,
+            delayed: 0,
         });
     }
 
     /// Records a global phase of `rounds` rounds and `messages` global messages.
     pub fn record_global(&mut self, label: impl Into<String>, rounds: u64, messages: u64) {
+        self.record_global_faulty(label, rounds, messages, 0, 0, 0);
+    }
+
+    /// Records a global phase together with its fault accounting: delivery
+    /// attempts `dropped` (overflow or injected loss), extra copies
+    /// `duplicated`, and attempts `delayed`.
+    pub fn record_global_faulty(
+        &mut self,
+        label: impl Into<String>,
+        rounds: u64,
+        messages: u64,
+        dropped: u64,
+        duplicated: u64,
+        delayed: u64,
+    ) {
         self.rounds += rounds;
         self.global_messages += messages;
+        self.dropped += dropped;
+        self.duplicated += duplicated;
+        self.delayed += delayed;
         self.trace.push(PhaseRecord {
             label: label.into(),
             kind: PhaseKind::Global,
             rounds,
             messages,
+            dropped,
+            duplicated,
+            delayed,
         });
     }
 
@@ -97,6 +147,9 @@ impl CostMeter {
             kind: PhaseKind::Charged,
             rounds,
             messages: 0,
+            dropped: 0,
+            duplicated: 0,
+            delayed: 0,
         });
     }
 
@@ -106,6 +159,9 @@ impl CostMeter {
         self.rounds += other.rounds;
         self.local_messages += other.local_messages;
         self.global_messages += other.global_messages;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.delayed += other.delayed;
         self.trace.extend(other.trace);
     }
 
@@ -115,11 +171,17 @@ impl CostMeter {
         self.rounds += rounds_charged;
         self.local_messages += other.local_messages;
         self.global_messages += other.global_messages;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.delayed += other.delayed;
         self.trace.push(PhaseRecord {
             label: format!("parallel-group({} phases)", other.trace.len()),
             kind: PhaseKind::Charged,
             rounds: rounds_charged,
             messages: 0,
+            dropped: other.dropped,
+            duplicated: other.duplicated,
+            delayed: other.delayed,
         });
     }
 
@@ -174,6 +236,41 @@ mod tests {
         a.absorb_parallel(b, 10);
         assert_eq!(a.rounds(), 10);
         assert_eq!(a.global_messages(), 10);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_absorb() {
+        let mut a = CostMeter::new();
+        a.record_global_faulty("lossy", 6, 30, 4, 2, 1);
+        assert_eq!(a.dropped(), 4);
+        assert_eq!(a.duplicated(), 2);
+        assert_eq!(a.delayed(), 1);
+        let rec = &a.trace()[0];
+        assert_eq!((rec.dropped, rec.duplicated, rec.delayed), (4, 2, 1));
+
+        let mut b = CostMeter::new();
+        b.record_global_faulty("lossier", 2, 10, 3, 0, 5);
+        a.absorb(b.clone());
+        assert_eq!((a.dropped(), a.duplicated(), a.delayed()), (7, 2, 6));
+
+        let mut c = CostMeter::new();
+        c.absorb_parallel(b, 2);
+        assert_eq!((c.dropped(), c.duplicated(), c.delayed()), (3, 0, 5));
+    }
+
+    #[test]
+    fn failure_free_records_report_zero_fault_counters() {
+        let mut m = CostMeter::new();
+        m.record_local("flood", 5, 100);
+        m.record_global("route", 3, 42);
+        m.record_charged("oracle", 7);
+        assert_eq!(m.dropped(), 0);
+        assert_eq!(m.duplicated(), 0);
+        assert_eq!(m.delayed(), 0);
+        assert!(m
+            .trace()
+            .iter()
+            .all(|p| p.dropped == 0 && p.duplicated == 0 && p.delayed == 0));
     }
 
     #[test]

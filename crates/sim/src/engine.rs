@@ -33,6 +33,7 @@
 
 use hybrid_graph::{Graph, NodeId};
 
+use crate::faults::{Fate, FaultPlan};
 use crate::params::ModelParams;
 
 /// Per-round interface a node program uses to read its mailboxes and send
@@ -139,6 +140,13 @@ pub struct RunReport {
     pub dropped_global: u64,
     /// Global sends refused because a sender exceeded its per-round cap.
     pub refused_sends: u64,
+    /// Messages destroyed by fault injection: drop fates, crashed receivers
+    /// and partition-severed local edges (zero without a fault plan).
+    pub injected_drops: u64,
+    /// Extra message copies delivered by fault-injected duplication.
+    pub injected_duplicates: u64,
+    /// Messages held back by fault-injected delay (each is delivered later).
+    pub injected_delays: u64,
     /// Whether the run ended because every program reported `done()`
     /// (otherwise the round limit was hit).
     pub completed: bool,
@@ -216,11 +224,20 @@ impl<M> Arena<M> {
 }
 
 /// Synchronous executor running one [`NodeProgram`] per node.
+///
+/// With a [`FaultPlan`] installed ([`Executor::set_fault_plan`]) the round
+/// boundary applies the adversary to every staged message: a crashed node
+/// executes no program steps and receives nothing while down (its state
+/// survives — the crash-*restart* model), a partition-severed local edge
+/// carries nothing, and surviving messages draw a drop / duplicate / delay
+/// fate from the plan's hash stream.  The fate coordinate is the *sending*
+/// round, so the engine and the phase engine address the same adversary.
 pub struct Executor<'g, P: NodeProgram> {
     graph: &'g Graph,
     params: ModelParams,
     programs: Vec<P>,
     neighbor_lists: Vec<Vec<NodeId>>,
+    faults: Option<FaultPlan>,
 }
 
 impl<'g, P: NodeProgram> Executor<'g, P> {
@@ -238,7 +255,27 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
             params,
             programs,
             neighbor_lists,
+            faults: None,
         }
+    }
+
+    /// Installs a fault plan; a failure-free plan is equivalent to none.
+    ///
+    /// # Panics
+    /// Panics if the plan was built for a different node count.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert_eq!(
+            plan.n(),
+            self.graph.n(),
+            "fault plan is for {} nodes but the graph has {}",
+            plan.n(),
+            self.graph.n()
+        );
+        self.faults = if plan.is_failure_free() {
+            None
+        } else {
+            Some(plan)
+        };
     }
 
     /// Read access to the per-node programs (e.g. to extract results).
@@ -269,12 +306,23 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
         let mut local_out: Vec<(NodeId, P::Msg)> = Vec::new();
         let mut global_out: Vec<(NodeId, P::Msg)> = Vec::new();
 
+        // Fault-injection state: messages held back by delay fates, keyed by
+        // the sending round at which they re-enter staging.  Cloning the plan
+        // up front keeps the borrow checker away from the program loop.
+        let faults = self.faults.clone();
+        let mut held_local: Vec<(u64, NodeId, NodeId, P::Msg)> = Vec::new();
+        let mut held_global: Vec<(u64, NodeId, NodeId, P::Msg)> = Vec::new();
+        let mut fault_scratch: Vec<(NodeId, NodeId, P::Msg)> = Vec::new();
+
         let mut report = RunReport {
             rounds: 0,
             local_messages: 0,
             global_messages: 0,
             dropped_global: 0,
             refused_sends: 0,
+            injected_drops: 0,
+            injected_duplicates: 0,
+            injected_delays: 0,
             completed: false,
         };
 
@@ -301,6 +349,26 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
                 &mut global_stage,
             );
         }
+        if let Some(plan) = &faults {
+            Self::apply_faults(
+                plan,
+                0,
+                true,
+                &mut local_stage,
+                &mut held_local,
+                &mut fault_scratch,
+                &mut report,
+            );
+            Self::apply_faults(
+                plan,
+                0,
+                false,
+                &mut global_stage,
+                &mut held_global,
+                &mut fault_scratch,
+                &mut report,
+            );
+        }
         let (delivered, _) = local_arena.fill_from(&mut local_stage, None);
         report.local_messages += delivered;
         let (delivered, dropped) = global_arena.fill_from(&mut global_stage, Some(gamma));
@@ -315,6 +383,15 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
         for round in 1..=max_rounds {
             report.rounds = round;
             for v in 0..n {
+                // A crashed node executes nothing while down; its inboxes are
+                // discarded unread (apply_faults already dropped anything
+                // addressed to a down receiver, so nothing is silently lost).
+                if faults
+                    .as_ref()
+                    .is_some_and(|p| p.is_down(v as NodeId, round))
+                {
+                    continue;
+                }
                 let mut ctx = NodeCtx {
                     node: v as NodeId,
                     neighbors: &self.neighbor_lists[v],
@@ -336,6 +413,26 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
                     &mut global_stage,
                 );
             }
+            if let Some(plan) = &faults {
+                Self::apply_faults(
+                    plan,
+                    round,
+                    true,
+                    &mut local_stage,
+                    &mut held_local,
+                    &mut fault_scratch,
+                    &mut report,
+                );
+                Self::apply_faults(
+                    plan,
+                    round,
+                    false,
+                    &mut global_stage,
+                    &mut held_global,
+                    &mut fault_scratch,
+                    &mut report,
+                );
+            }
             let (delivered, _) = local_arena.fill_from(&mut local_stage, None);
             report.local_messages += delivered;
             let (delivered, dropped) = global_arena.fill_from(&mut global_stage, Some(gamma));
@@ -348,6 +445,66 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
             }
         }
         report
+    }
+
+    /// Applies the fault plan to one staging buffer at the end of sending
+    /// round `round`: first releases the held (delayed) messages whose time
+    /// has come back into the stage, then draws one fate per staged message.
+    /// Messages crossing a severed partition edge (`is_local` only) or
+    /// addressed to a receiver that is down at the delivery round `round + 1`
+    /// are destroyed and counted as injected drops — the sender's program is
+    /// responsible for retrying (that is the ack/retry contract).  Sequence
+    /// numbers are reassigned densely afterwards so the arena sort key stays
+    /// unique; the surviving relative order is unchanged and deterministic.
+    fn apply_faults(
+        plan: &FaultPlan,
+        round: u64,
+        is_local: bool,
+        stage: &mut Vec<Staged<P::Msg>>,
+        held: &mut Vec<(u64, NodeId, NodeId, P::Msg)>,
+        scratch: &mut Vec<(NodeId, NodeId, P::Msg)>,
+        report: &mut RunReport,
+    ) {
+        let mut i = 0;
+        while i < held.len() {
+            if held[i].0 <= round {
+                let (_, to, from, msg) = held.swap_remove(i);
+                let seq = stage.len() as u32;
+                stage.push((to, seq, from, msg));
+            } else {
+                i += 1;
+            }
+        }
+        scratch.clear();
+        for (idx, (to, _, from, msg)) in stage.drain(..).enumerate() {
+            if is_local && plan.cuts_local_edge(from, to, round) {
+                report.injected_drops += 1;
+                continue;
+            }
+            if plan.is_down(to, round + 1) {
+                report.injected_drops += 1;
+                continue;
+            }
+            // The top idx bit separates the local and global fate streams so
+            // the two mailbox planes never draw correlated decisions.
+            let idx = idx as u64 | if is_local { 0 } else { 1 << 63 };
+            match plan.fate(round, from, to, idx) {
+                Fate::Deliver => scratch.push((to, from, msg)),
+                Fate::Drop => report.injected_drops += 1,
+                Fate::Duplicate => {
+                    report.injected_duplicates += 1;
+                    scratch.push((to, from, msg.clone()));
+                    scratch.push((to, from, msg));
+                }
+                Fate::Delay(d) => {
+                    report.injected_delays += 1;
+                    held.push((round + d, to, from, msg));
+                }
+            }
+        }
+        for (seq, (to, from, msg)) in scratch.drain(..).enumerate() {
+            stage.push((to, seq as u32, from, msg));
+        }
     }
 
     /// Drains a node's outboxes into the round staging buffers.
@@ -548,6 +705,9 @@ mod tests {
             global_messages: 0,
             dropped_global: 0,
             refused_sends: 0,
+            injected_drops: 0,
+            injected_duplicates: 0,
+            injected_delays: 0,
             completed: false,
         };
         let mut local_inboxes: Vec<Vec<(NodeId, P::Msg)>> = vec![Vec::new(); n];
@@ -734,6 +894,126 @@ mod tests {
                 assert_eq!(ga, gb, "global multiset diverged at round {ra}");
             }
         }
+    }
+
+    #[test]
+    fn failure_free_fault_plan_changes_nothing() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let graph = generators::grid(&[6, 5]).unwrap();
+        let n = graph.n();
+        let params = ModelParams::hybrid_with_global_capacity(n, 3);
+        let factory = |id: NodeId| Chaos {
+            id,
+            n: n as u32,
+            log: Vec::new(),
+        };
+        let mut plain = Executor::new(&graph, params, factory);
+        let plain_report = plain.run_until(10, |_| false);
+        let mut with_plan = Executor::new(&graph, params, factory);
+        with_plan.set_fault_plan(FaultPlan::new(FaultSpec::none(), 9, n));
+        let plan_report = with_plan.run_until(10, |_| false);
+        assert_eq!(plain_report, plan_report);
+        assert_eq!(plan_report.injected_drops, 0);
+        for (p, r) in plain.programs().iter().zip(with_plan.programs()) {
+            assert_eq!(p.log, r.log);
+        }
+    }
+
+    #[test]
+    fn injected_drops_are_counted_and_deterministic() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let graph = generators::cycle(20).unwrap();
+        let params = ModelParams::hybrid_with_global_capacity(20, 4);
+        let factory = |id: NodeId| Chaos {
+            id,
+            n: 20,
+            log: Vec::new(),
+        };
+        let spec = FaultSpec {
+            drop_prob: 0.3,
+            duplicate_prob: 0.1,
+            delay_prob: 0.1,
+            max_delay_rounds: 2,
+            ..FaultSpec::none()
+        };
+        let run = |seed: u64| {
+            let mut exec = Executor::new(&graph, params, factory);
+            exec.set_fault_plan(FaultPlan::new(spec, seed, 20));
+            let report = exec.run_until(12, |_| false);
+            let logs: Vec<_> = exec.programs().iter().map(|p| p.log.clone()).collect();
+            (report, logs)
+        };
+        let (ra, la) = run(5);
+        let (rb, lb) = run(5);
+        let (rc, _) = run(6);
+        assert_eq!(ra, rb, "same seed must reproduce the identical run");
+        assert_eq!(la, lb, "same seed must reproduce identical inbox traces");
+        assert!(ra.injected_drops > 0);
+        assert!(ra.injected_delays > 0);
+        assert_ne!(
+            (
+                ra.injected_drops,
+                ra.injected_duplicates,
+                ra.injected_delays
+            ),
+            (
+                rc.injected_drops,
+                rc.injected_duplicates,
+                rc.injected_delays
+            ),
+            "a different seed should draw a different fault schedule"
+        );
+    }
+
+    #[test]
+    fn crashed_nodes_sleep_and_keep_their_state() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        /// A persistent flooder: once a node has the pulse it rebroadcasts it
+        /// every round — so crashed receivers recover the pulse after they
+        /// restart (unlike `Wave`, which forwards exactly once and would
+        /// permanently lose anything addressed to a sleeping node).
+        struct Pulse {
+            id: NodeId,
+            seen: bool,
+        }
+        impl NodeProgram for Pulse {
+            type Msg = ();
+            fn init(&mut self, _ctx: &mut NodeCtx<'_, ()>) {
+                self.seen = self.id == 0;
+            }
+            fn on_round(&mut self, ctx: &mut NodeCtx<'_, ()>, _round: u64) {
+                if !ctx.local_inbox().is_empty() {
+                    self.seen = true;
+                }
+                if self.seen {
+                    ctx.broadcast_local(());
+                }
+            }
+            fn done(&self) -> bool {
+                self.seen
+            }
+        }
+
+        let g = generators::path(10).unwrap();
+        let params = ModelParams::hybrid(10);
+        // Horizon 1 pins every crash to round 1: the whole path sleeps for
+        // rounds 1..=4, state survives, and the pulse spreads after restart.
+        let spec = FaultSpec {
+            crash_prob: 1.0,
+            crash_down_rounds: 4,
+            crash_horizon_rounds: 1,
+            ..FaultSpec::none()
+        };
+        let mut exec = Executor::new(&g, params, |id| Pulse { id, seen: false });
+        exec.set_fault_plan(FaultPlan::new(spec, 1, 10));
+        let report = exec.run(100);
+        assert!(report.completed, "the pulse completes after the restarts");
+        assert!(
+            report.rounds > 9,
+            "sleeping through the crash window must cost rounds (took {})",
+            report.rounds
+        );
+        assert!(exec.programs().iter().all(|p| p.seen));
     }
 
     #[test]

@@ -37,12 +37,14 @@
 
 pub mod cost;
 pub mod engine;
+pub mod faults;
 pub mod network;
 pub mod params;
 pub mod programs;
 pub mod scheduler;
 
 pub use cost::{CostMeter, PhaseKind, PhaseRecord};
+pub use faults::{Fate, FaultPlan, FaultSpec};
 pub use network::HybridNetwork;
 pub use params::{IdSpace, LocalBandwidth, ModelParams};
 pub use scheduler::{DeliveryReport, GlobalMessage, GlobalScheduler};

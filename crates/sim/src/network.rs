@@ -14,6 +14,7 @@ use std::sync::Arc;
 use hybrid_graph::Graph;
 
 use crate::cost::CostMeter;
+use crate::faults::FaultPlan;
 use crate::params::ModelParams;
 use crate::scheduler::{DeliveryReport, GlobalMessage, GlobalScheduler};
 
@@ -22,12 +23,18 @@ use crate::scheduler::{DeliveryReport, GlobalMessage, GlobalScheduler};
 /// The network owns a [`GlobalScheduler`] workspace, so repeated
 /// [`HybridNetwork::deliver_global`] phases reuse one set of scheduling
 /// buffers instead of allocating per batch.
+///
+/// An optional [`FaultPlan`] (see [`HybridNetwork::set_fault_plan`]) routes
+/// every global phase through the adversarial
+/// [`GlobalScheduler::deliver_with_faults`] path, using the meter's running
+/// round total as the fate coordinate so repeated phases draw fresh faults.
 #[derive(Debug, Clone)]
 pub struct HybridNetwork {
     graph: Arc<Graph>,
     params: ModelParams,
     meter: CostMeter,
     scheduler: GlobalScheduler,
+    faults: Option<FaultPlan>,
 }
 
 impl HybridNetwork {
@@ -48,7 +55,34 @@ impl HybridNetwork {
             params,
             meter: CostMeter::new(),
             scheduler: GlobalScheduler::new(),
+            faults: None,
         }
+    }
+
+    /// Installs a fault plan: every subsequent global phase plays against the
+    /// adversary.  Passing a failure-free plan is equivalent to `None`.
+    ///
+    /// # Panics
+    /// Panics if the plan was built for a different node count.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert_eq!(
+            plan.n(),
+            self.params.n,
+            "fault plan is for {} nodes but the network has {}",
+            plan.n(),
+            self.params.n
+        );
+        self.faults = if plan.is_failure_free() {
+            None
+        } else {
+            Some(plan)
+        };
+    }
+
+    /// Whether an active (non-failure-free) fault plan is installed.  Callers
+    /// use this to assert zero drops on failure-free runs only.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
     }
 
     /// Standard `HYBRID` network over `graph`.
@@ -139,9 +173,24 @@ impl HybridNetwork {
         label: impl Into<String>,
         messages: &[GlobalMessage],
     ) -> DeliveryReport {
-        let report = self.scheduler.deliver_with(&self.params, messages);
-        self.meter
-            .record_global(label, report.rounds, report.messages);
+        let report = match &self.faults {
+            Some(plan) => {
+                // The meter's running total anchors this phase's fate
+                // coordinates, so each phase faces fresh adversary decisions.
+                let round_base = self.meter.rounds();
+                self.scheduler
+                    .deliver_with_faults(&self.params, messages, plan, round_base)
+            }
+            None => self.scheduler.deliver_with(&self.params, messages),
+        };
+        self.meter.record_global_faulty(
+            label,
+            report.rounds,
+            report.messages,
+            report.dropped,
+            report.duplicated,
+            report.delayed,
+        );
         report
     }
 
@@ -224,6 +273,43 @@ mod tests {
         net.absorb_parallel(sub, 3);
         assert_eq!(net.rounds(), 15);
         assert_eq!(net.meter().global_messages(), 24);
+    }
+
+    #[test]
+    fn fault_plan_routes_global_phases_through_the_adversary() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let msgs: Vec<_> = (1..32u32).map(|s| GlobalMessage::new(s, 0)).collect();
+
+        let mut clean = net(64);
+        let clean_report = clean.deliver_global("pump", &msgs);
+        assert!(!clean.has_faults());
+        assert_eq!(clean_report.dropped, 0);
+        assert_eq!(clean.meter().dropped(), 0);
+
+        let mut faulty = net(64);
+        faulty.set_fault_plan(FaultPlan::new(FaultSpec::drop_only(0.5), 77, 64));
+        assert!(faulty.has_faults());
+        let report = faulty.deliver_global("pump", &msgs);
+        assert_eq!(report.messages, msgs.len() as u64);
+        assert!(report.dropped > 0);
+        assert!(report.rounds >= clean_report.rounds);
+        // The per-phase fault accounting lands in the meter (satellite: the
+        // CostMeter exposes dropped/duplicated/delayed).
+        assert_eq!(faulty.meter().dropped(), report.dropped);
+        assert_eq!(faulty.meter().trace()[0].dropped, report.dropped);
+
+        // Installing a failure-free plan is a no-op.
+        let mut noop = net(64);
+        noop.set_fault_plan(FaultPlan::new(FaultSpec::none(), 77, 64));
+        assert!(!noop.has_faults());
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plan is for")]
+    fn mismatched_fault_plan_panics() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let mut n = net(16);
+        n.set_fault_plan(FaultPlan::new(FaultSpec::drop_only(0.1), 0, 8));
     }
 
     #[test]

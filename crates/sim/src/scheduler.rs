@@ -97,6 +97,15 @@ pub struct DeliveryReport {
     /// The largest number of messages any node received in any single round —
     /// by construction this never exceeds the model's `γ`.
     pub max_received_in_a_round: u64,
+    /// Delivery attempts dropped by fault injection (each is retried in a
+    /// later wave, so the batch still completes).  Always zero on the
+    /// fault-free [`GlobalScheduler::deliver_with`] path.
+    pub dropped: u64,
+    /// Extra message copies delivered by fault-injected duplication (each
+    /// consumes send/receive capacity like a real message).
+    pub duplicated: u64,
+    /// Delivery attempts held back by fault-injected delay.
+    pub delayed: u64,
 }
 
 impl DeliveryReport {
@@ -108,6 +117,9 @@ impl DeliveryReport {
             max_send_load: 0,
             max_recv_load: 0,
             max_received_in_a_round: 0,
+            dropped: 0,
+            duplicated: 0,
+            delayed: 0,
         }
     }
 }
@@ -362,7 +374,123 @@ impl GlobalScheduler {
             max_send_load,
             max_recv_load,
             max_received_in_a_round,
+            dropped: 0,
+            duplicated: 0,
+            delayed: 0,
         }
+    }
+
+    /// Plays the message multiset against an active adversary: each delivery
+    /// attempt draws a [`Fate`](crate::faults::Fate) from `plan`, and dropped
+    /// or crash-blocked attempts are retried in later waves until everything
+    /// is delivered.  `round_base` is the absolute round at which this batch
+    /// starts (typically the owning meter's round total), so that fate and
+    /// crash decisions line up with the per-node engine's round numbering.
+    ///
+    /// The batch is played as a sequence of *waves*.  Each wave draws one
+    /// fate per pending message at the wave's starting round: surviving
+    /// messages (plus duplicated extra copies) are handed to the fault-free
+    /// scheduler and obey all its cap guarantees; dropped messages and
+    /// messages whose endpoint is crashed are re-queued for the next wave;
+    /// delayed messages are held back and re-enter a later wave.  A wave with
+    /// nothing sendable still costs one (idle) round — that is how crash
+    /// downtime and delay holds convert into measured rounds.
+    ///
+    /// The returned report accumulates rounds/messages across waves (so
+    /// `messages` counts every delivered copy, including retries and
+    /// duplicates — the message-overhead numerator of the fault sweep) and
+    /// maximises the load/cap statistics.
+    ///
+    /// # Panics
+    /// Panics like [`GlobalScheduler::deliver_with`], and additionally if the
+    /// adversary prevents convergence for 100 000 consecutive waves (only
+    /// possible with `drop_prob` at or near 1, or a node that effectively
+    /// never restarts).
+    pub fn deliver_with_faults(
+        &mut self,
+        params: &ModelParams,
+        messages: &[GlobalMessage],
+        plan: &crate::faults::FaultPlan,
+        round_base: u64,
+    ) -> DeliveryReport {
+        use crate::faults::Fate;
+
+        if plan.is_failure_free() {
+            return self.deliver_with(params, messages);
+        }
+        if messages.is_empty() {
+            return DeliveryReport::empty();
+        }
+        let mut report = DeliveryReport::empty();
+        let mut wave: Vec<GlobalMessage> = messages.to_vec();
+        let mut next_wave: Vec<GlobalMessage> = Vec::new();
+        let mut held: Vec<(u64, GlobalMessage)> = Vec::new();
+        let mut sendable: Vec<GlobalMessage> = Vec::new();
+        let mut waves = 0u64;
+        while !wave.is_empty() || !held.is_empty() {
+            waves += 1;
+            assert!(
+                waves <= 100_000,
+                "fault-injected delivery did not converge after {waves} waves \
+                 (drop rate too close to 1, or a crashed node never restarts?)"
+            );
+            // Release every held message whose delay has elapsed (held stores
+            // the batch-relative round at which the message re-enters play).
+            let now = report.rounds;
+            let mut i = 0;
+            while i < held.len() {
+                if held[i].0 <= now {
+                    wave.push(held.swap_remove(i).1);
+                } else {
+                    i += 1;
+                }
+            }
+            // The absolute round this wave starts at — the coordinate fates
+            // and crash checks are drawn against.
+            let abs_round = round_base + report.rounds + 1;
+            sendable.clear();
+            next_wave.clear();
+            for (idx, m) in wave.drain(..).enumerate() {
+                if plan.is_down(m.from, abs_round) || plan.is_down(m.to, abs_round) {
+                    // A crashed endpoint blocks the attempt outright; retry
+                    // once the node has restarted.
+                    next_wave.push(m);
+                    continue;
+                }
+                match plan.fate(abs_round, m.from, m.to, idx as u64) {
+                    Fate::Deliver => sendable.push(m),
+                    Fate::Drop => {
+                        report.dropped += 1;
+                        next_wave.push(m);
+                    }
+                    Fate::Duplicate => {
+                        report.duplicated += 1;
+                        sendable.push(m);
+                        sendable.push(m);
+                    }
+                    Fate::Delay(d) => {
+                        report.delayed += 1;
+                        held.push((now + d, m));
+                    }
+                }
+            }
+            std::mem::swap(&mut wave, &mut next_wave);
+            if sendable.is_empty() {
+                // Nothing survived this wave: the round is spent waiting for
+                // restarts / releases, exactly one round of wall-clock.
+                report.rounds += 1;
+                continue;
+            }
+            let sub = self.deliver_with(params, &sendable);
+            report.rounds += sub.rounds;
+            report.messages += sub.messages;
+            report.max_send_load = report.max_send_load.max(sub.max_send_load);
+            report.max_recv_load = report.max_recv_load.max(sub.max_recv_load);
+            report.max_received_in_a_round = report
+                .max_received_in_a_round
+                .max(sub.max_received_in_a_round);
+        }
+        report
     }
 
     /// Lower bound on the rounds any schedule needs for this multiset:
@@ -654,5 +782,112 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_receiver_panics() {
         GlobalScheduler::deliver(&params(4, 2), &[GlobalMessage::new(0, 9)]);
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_fault_free_path() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let p = params(16, 2);
+        let msgs: Vec<_> = (0..16u32)
+            .flat_map(|s| (0..3u32).map(move |t| GlobalMessage::new(s, (s + t + 1) % 16)))
+            .collect();
+        let plan = FaultPlan::new(FaultSpec::none(), 5, 16);
+        let clean = GlobalScheduler::new().deliver_with(&p, &msgs);
+        let faulty = GlobalScheduler::new().deliver_with_faults(&p, &msgs, &plan, 0);
+        assert_eq!(clean.rounds, faulty.rounds);
+        assert_eq!(clean.messages, faulty.messages);
+        assert_eq!(
+            (faulty.dropped, faulty.duplicated, faulty.delayed),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn drops_cost_rounds_but_everything_is_delivered() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let p = params(16, 2);
+        let msgs: Vec<_> = (1..16u32).map(|s| GlobalMessage::new(s, 0)).collect();
+        let plan = FaultPlan::new(FaultSpec::drop_only(0.5), 11, 16);
+        let clean = GlobalScheduler::new().deliver_with(&p, &msgs);
+        let faulty = GlobalScheduler::new().deliver_with_faults(&p, &msgs, &plan, 0);
+        // Retries may not inflate the delivered count (drops never deliver),
+        // but they must show up in the fault accounting and the round count.
+        assert_eq!(faulty.messages, msgs.len() as u64);
+        assert!(faulty.dropped > 0, "a 50% drop rate must drop something");
+        assert!(
+            faulty.rounds >= clean.rounds,
+            "faults cannot make delivery faster"
+        );
+        assert!(faulty.max_received_in_a_round <= 2);
+    }
+
+    #[test]
+    fn duplicates_inflate_delivered_copies() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let p = params(16, 4);
+        let msgs: Vec<_> = (0..15u32).map(|s| GlobalMessage::new(s, s + 1)).collect();
+        let spec = FaultSpec {
+            duplicate_prob: 0.5,
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::new(spec, 17, 16);
+        let r = GlobalScheduler::new().deliver_with_faults(&p, &msgs, &plan, 0);
+        assert!(r.duplicated > 0);
+        assert_eq!(
+            r.messages,
+            msgs.len() as u64 + r.duplicated,
+            "each duplication delivers exactly one extra copy"
+        );
+    }
+
+    #[test]
+    fn crashed_receiver_defers_delivery_until_restart() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let p = params(8, 2);
+        // horizon = 1 pins every crash to round 1, so the single message is
+        // guaranteed to find its endpoints down on the first attempt.
+        let spec = FaultSpec {
+            crash_prob: 1.0,
+            crash_down_rounds: 5,
+            crash_horizon_rounds: 1,
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::new(spec, 3, 8);
+        let msgs = [GlobalMessage::new(0, 1)];
+        let r = GlobalScheduler::new().deliver_with_faults(&p, &msgs, &plan, 0);
+        assert_eq!(r.messages, 1, "the message is delivered after the restart");
+        assert!(
+            r.rounds > 1,
+            "a crashed endpoint must cost waiting rounds, took {}",
+            r.rounds
+        );
+        assert!(r.rounds <= plan.quiescent_after() + 1);
+    }
+
+    #[test]
+    fn faulty_delivery_is_deterministic_in_round_base() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let p = params(16, 2);
+        let msgs: Vec<_> = (1..16u32).map(|s| GlobalMessage::new(s, s % 4)).collect();
+        let spec = FaultSpec {
+            drop_prob: 0.3,
+            delay_prob: 0.2,
+            max_delay_rounds: 3,
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::new(spec, 23, 16);
+        let a = GlobalScheduler::new().deliver_with_faults(&p, &msgs, &plan, 7);
+        let b = GlobalScheduler::new().deliver_with_faults(&p, &msgs, &plan, 7);
+        let c = GlobalScheduler::new().deliver_with_faults(&p, &msgs, &plan, 8);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(
+            (a.dropped, a.duplicated, a.delayed),
+            (b.dropped, b.duplicated, b.delayed)
+        );
+        // A different starting round addresses different fate coordinates.
+        assert!(
+            a.rounds != c.rounds || a.dropped != c.dropped || a.delayed != c.delayed,
+            "shifting round_base should reshuffle fates"
+        );
     }
 }

@@ -449,6 +449,44 @@ proptest! {
             prop_assert!(ecc == ecc_ref, "eccentricities diverged at {} threads", threads);
         }
     }
+
+    /// Fault-plane determinism (ARCHITECTURE.md "Fault model"): a
+    /// `FaultPlan`'s drop/duplicate/delay/crash decisions are pure hashes of
+    /// its seeded key, so replaying the same seed — here through a faulty
+    /// ack/retry dissemination on the per-node engine — must produce a
+    /// byte-identical run report (rounds, message counts, injected-fault
+    /// counters) at every rayon pool width.
+    #[test]
+    fn fault_plans_are_thread_count_invariant(
+        graph in arbitrary_graph(),
+        seed in any::<u64>(),
+        drop_pct in 0u32..70,
+    ) {
+        use hybrid::sim::engine::Executor;
+        use hybrid::sim::programs::AckFloodProgram;
+        use hybrid::sim::{FaultPlan, FaultSpec};
+
+        let n = graph.n();
+        let spec = FaultSpec::drop_only(f64::from(drop_pct) / 100.0);
+        let run = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            pool.install(|| {
+                let mut exec = Executor::new(&graph, ModelParams::hybrid(n), |v| {
+                    AckFloodProgram::new(if v == 0 { vec![7] } else { vec![] }, 1, 2)
+                });
+                exec.set_fault_plan(FaultPlan::new(spec, seed, n));
+                format!("{:?}", exec.run(20_000))
+            })
+        };
+        let reference = run(1);
+        for threads in [4usize, 8] {
+            let got = run(threads);
+            prop_assert!(got == reference, "fault trace diverged at {} threads", threads);
+        }
+    }
 }
 
 proptest! {
