@@ -28,6 +28,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use hybrid_bench::faults_sweep::{fault_sweep_rows, FaultSweepConfig};
+use hybrid_bench::scale::{scale_rows, ScaleConfig};
 use hybrid_bench::scenarios::{
     appendix_b_rows, figure1_rows, table1_rows, table2_rows, table3_rows, table4_rows, GraphFamily,
 };
@@ -35,7 +36,7 @@ use hybrid_bench::sweep::{sweep_rows, SweepConfig};
 use serde::Serialize;
 
 const USAGE: &str =
-    "usage: reproduce [table1|table2|table3|table4|figure1|appendix-b|sweep|faults|all] [--quick] [--check-regression] [--strict]";
+    "usage: reproduce [table1|table2|table3|table4|figure1|appendix-b|sweep|faults|all] [--scale] [--quick] [--check-regression] [--strict]";
 
 /// Parsed command line of the `reproduce` binary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +45,9 @@ struct Cli {
     target: String,
     /// Shrunk instance sizes.
     quick: bool,
+    /// Run the sweep target as the million-node scale tier
+    /// (`sweep --scale` → `results/sweep_scale.json`).
+    scale: bool,
     /// Compare against `BENCH_baseline.json`.
     check_regression: bool,
     /// Escalate regression warnings to a non-zero exit (CI mode; implies
@@ -58,12 +62,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         target: String::new(),
         quick: false,
+        scale: false,
         check_regression: false,
         strict: false,
     };
     for arg in args {
         match arg.as_str() {
             "--quick" => cli.quick = true,
+            "--scale" => cli.scale = true,
             "--check-regression" => cli.check_regression = true,
             "--strict" => cli.strict = true,
             flag if flag.starts_with("--") => {
@@ -86,6 +92,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if cli.strict {
         cli.check_regression = true;
     }
+    // `--scale` selects the scale tier of the sweep; on any other target it
+    // would be a silent no-op, which is the `--qiuck` bug class again.
+    if cli.scale && cli.target != "sweep" {
+        return Err(format!(
+            "--scale applies to the sweep target only (target is '{}')\n{USAGE}",
+            cli.target
+        ));
+    }
     Ok(cli)
 }
 
@@ -104,10 +118,15 @@ fn write_json<T: Serialize>(name: &str, rows: &T) {
 /// Wall-clock measurement of one reproduce target.
 #[derive(Debug, Clone, Serialize)]
 struct TargetTiming {
-    /// Target name (`table1` … `appendix-b`).
+    /// Target name (`table1` … `appendix-b`, `scale`).
     target: &'static str,
     /// Wall-clock milliseconds.
     wall_ms: f64,
+    /// Estimated peak bytes of the target's dominant allocations — exact
+    /// arithmetic for the scale tier (graph + rows + profiles per cell),
+    /// dominant-allocation formulas for the small-`n` targets (each `run_*`
+    /// documents its own).  The regression gate only compares `wall_ms`.
+    peak_mem_bytes: u64,
 }
 
 /// The machine-readable perf record `reproduce` emits so future PRs have a
@@ -289,16 +308,26 @@ fn gate_regressions(record: &BenchRecord, baseline_text: Option<&str>, strict: b
     regressed
 }
 
-/// Runs `f`, printing and returning its wall-clock time.
-fn timed(target: &'static str, f: impl FnOnce()) -> TargetTiming {
+/// Runs `f`, printing and returning its wall-clock time and the peak-memory
+/// estimate `f` reports (bytes of the target's dominant allocations).
+fn timed(target: &'static str, f: impl FnOnce() -> u64) -> TargetTiming {
     let start = Instant::now();
-    f();
+    let peak_mem_bytes = f();
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    println!("  [{target}: {wall_ms:.1} ms]");
-    TargetTiming { target, wall_ms }
+    println!(
+        "  [{target}: {wall_ms:.1} ms, ~{:.1} MiB peak]",
+        peak_mem_bytes as f64 / (1024.0 * 1024.0)
+    );
+    TargetTiming {
+        target,
+        wall_ms,
+        peak_mem_bytes,
+    }
 }
 
-fn run_table1(quick: bool) {
+/// Returns the dominant allocation: the path family's `NqOracle` ball profile
+/// (`n` nodes × eccentricity ≈ `n` entries of 8 bytes).
+fn run_table1(quick: bool) -> u64 {
     let n = if quick { 256 } else { 1024 };
     let ks: Vec<u64> = if quick {
         vec![16, 64, 256]
@@ -336,9 +365,12 @@ fn run_table1(quick: bool) {
         );
     }
     write_json("table1_dissemination", &rows);
+    (n as u64).pow(2) * 8
 }
 
-fn run_table2(quick: bool) {
+/// Returns the dominant allocation: the dense `n × n` label matrix plus the
+/// exact distance matrix it is verified against.
+fn run_table2(quick: bool) -> u64 {
     let n = if quick { 144 } else { 400 };
     println!("\n=== Table 2: APSP (n = {n}) ===");
     println!(
@@ -377,15 +409,19 @@ fn run_table2(quick: bool) {
         );
     }
     write_json("table2_apsp", &rows);
+    2 * (n as u64).pow(2) * 8
 }
 
-fn run_table3(quick: bool) {
+/// Returns the dominant allocation: the largest `k × n` source-row block plus
+/// the exact rows it is verified against.
+fn run_table3(quick: bool) -> u64 {
     let n = if quick { 196 } else { 400 };
     let ks: Vec<u64> = if quick {
         vec![16, 64]
     } else {
         vec![16, 64, 144]
     };
+    let k_max = *ks.iter().max().expect("ks is non-empty");
     println!("\n=== Table 3: (k, l)-shortest paths (n = {n}) ===");
     println!(
         "{:<14}{:>6}{:>5}{:>6}{:>8}{:>10}{:>9}{:>10}{:>10}",
@@ -399,14 +435,18 @@ fn run_table3(quick: bool) {
         );
     }
     write_json("table3_klsp", &rows);
+    2 * k_max * n as u64 * 8
 }
 
-fn run_table4(quick: bool) {
+/// Returns the dominant allocation: SSSP keeps a handful of length-`n`
+/// working arrays (distances, heap, visited, parents) at the largest size.
+fn run_table4(quick: bool) -> u64 {
     let sizes: Vec<usize> = if quick {
         vec![64, 256, 1024]
     } else {
         vec![64, 256, 1024, 4096]
     };
+    let n_max = *sizes.iter().max().expect("sizes is non-empty") as u64;
     println!("\n=== Table 4: SSSP ===");
     println!(
         "{:<18}{:>7}{:>10}{:>10}{:>12}{:>10}{:>10}{:>10}",
@@ -435,9 +475,12 @@ fn run_table4(quick: bool) {
         );
     }
     write_json("table4_sssp", &rows);
+    n_max * 8 * 4
 }
 
-fn run_figure1(quick: bool) {
+/// Returns the dominant allocation: the `β = 1` point runs `k = n` sources,
+/// i.e. a full `n × n` label matrix plus the exact verification rows.
+fn run_figure1(quick: bool) -> u64 {
     let n = if quick { 512 } else { 1024 };
     let betas = [0.0, 1.0 / 6.0, 1.0 / 3.0, 0.5, 2.0 / 3.0, 5.0 / 6.0, 1.0];
     println!("\n=== Figure 1: k-SSP landscape (k = n^beta, n = {n}) ===");
@@ -459,9 +502,12 @@ fn run_figure1(quick: bool) {
         );
     }
     write_json("figure1_kssp", &rows);
+    2 * (n as u64).pow(2) * 8
 }
 
-fn run_appendix_b(quick: bool) {
+/// Returns the dominant allocation: the exact `NqOracle` ball profile on the
+/// highest-diameter family (`n` nodes × up to `n` profile entries).
+fn run_appendix_b(quick: bool) -> u64 {
     let n = if quick { 512 } else { 2048 };
     let ks: Vec<u64> = vec![16, 64, 256, 1024, 4096];
     println!("\n=== Appendix B / Theorems 15-17: NQ_k on special families (n ~ {n}) ===");
@@ -477,14 +523,18 @@ fn run_appendix_b(quick: bool) {
         );
     }
     write_json("appendix_b_nq", &rows);
+    (n as u64).pow(2) * 8
 }
 
-fn run_sweep(quick: bool) {
+/// Returns the dominant allocation: the largest cell's exact `n × n` distance
+/// matrix (the memory wall the scale tier exists to avoid).
+fn run_sweep(quick: bool) -> u64 {
     let config = if quick {
         SweepConfig::quick()
     } else {
         SweepConfig::full()
     };
+    let n_max = *config.sizes.iter().max().expect("sizes is non-empty") as u64;
     println!(
         "\n=== Scaling sweep: rounds vs. per-instance lower bound ({} families x {} sizes x {} (lambda, gamma) points) ===",
         GraphFamily::all().len(),
@@ -533,14 +583,83 @@ fn run_sweep(quick: bool) {
         );
     }
     write_json("sweep_scaling", &rows);
+    n_max * n_max * 8
 }
 
-fn run_faults(quick: bool) {
+/// The million-node scale tier (`sweep --scale`): streaming generators,
+/// row-streamed distances and sampled `NQ` witnesses.  Returns the exact
+/// per-cell allocation maximum the rows record (no formula needed here — the
+/// scale tier tracks its own arithmetic).
+fn run_sweep_scale(quick: bool) -> u64 {
+    let config = if quick {
+        ScaleConfig::quick()
+    } else {
+        ScaleConfig::full()
+    };
+    println!(
+        "\n=== Scale tier: streamed sweep at n up to {} ({} families x {} sizes, |S| = {} sources, {} NQ samples) ===",
+        config.sizes.iter().max().copied().unwrap_or(0),
+        config.families.len(),
+        config.sizes.len(),
+        config.sources,
+        config.nq_samples
+    );
+    println!(
+        "{:<14}{:>9}{:>11}{:>6}{:>8}{:>7}{:>7}{:>9}{:>11}{:>10}{:>8}{:>9}{:>8}{:>8}{:>9}{:>10}",
+        "family",
+        "n",
+        "m",
+        "gamma",
+        "NQ-est",
+        "conf",
+        "exact",
+        "diss-rnd",
+        "diss-LB",
+        "ratio",
+        "k-rnds",
+        "k-LB",
+        "ratio",
+        "stretch",
+        "peakMiB",
+        "rows/n2"
+    );
+    let rows = scale_rows(&config);
+    for r in &rows {
+        let full_matrix = (r.n as f64) * (r.n as f64) * 8.0;
+        println!(
+            "{:<14}{:>9}{:>11}{:>6}{:>8}{:>7.3}{:>7}{:>9}{:>11.2}{:>10.2}{:>8}{:>9}{:>8.2}{:>8.3}{:>9.1}{:>10.6}",
+            r.family,
+            r.n,
+            r.m,
+            r.gamma_msgs,
+            r.nq_estimate,
+            r.nq_confidence,
+            r.nq_exact.map_or_else(|| "-".to_string(), |v| v.to_string()),
+            r.dissemination_modeled_rounds,
+            r.dissemination_lower_bound,
+            r.dissemination_ratio,
+            r.kssp_rounds,
+            r.kssp_lower_bound,
+            r.kssp_ratio,
+            r.kssp_stretch_worst,
+            r.peak_mem_bytes as f64 / (1024.0 * 1024.0),
+            r.distance_rows_mem_bytes as f64 / full_matrix
+        );
+    }
+    write_json("sweep_scale", &rows);
+    rows.iter().map(|r| r.peak_mem_bytes).max().unwrap_or(0)
+}
+
+/// Returns the dominant allocation: per-node mailboxes holding `O(log n)`
+/// in-flight tokens (payload + retry bookkeeping) at the largest size.
+fn run_faults(quick: bool) -> u64 {
     let config = if quick {
         FaultSweepConfig::quick()
     } else {
         FaultSweepConfig::full()
     };
+    let n_max = *config.sizes.iter().max().expect("sizes is non-empty") as u64;
+    let log_n = (n_max.max(2) as f64).log2().ceil() as u64;
     let families = GraphFamily::core_families();
     println!(
         "\n=== Fault sweep: degradation factors under a seeded adversary ({} families x {} sizes x {} profiles) ===",
@@ -588,6 +707,7 @@ fn run_faults(quick: bool) {
         );
     }
     write_json("sweep_faults", &rows);
+    n_max * log_n * 16
 }
 
 fn main() {
@@ -608,6 +728,7 @@ fn main() {
         "table4" => vec![timed("table4", || run_table4(quick))],
         "figure1" => vec![timed("figure1", || run_figure1(quick))],
         "appendix-b" => vec![timed("appendix-b", || run_appendix_b(quick))],
+        "sweep" if cli.scale => vec![timed("scale", || run_sweep_scale(quick))],
         "sweep" => vec![timed("sweep", || run_sweep(quick))],
         "faults" => vec![timed("faults", || run_faults(quick))],
         "all" => vec![
@@ -688,6 +809,19 @@ mod tests {
     }
 
     #[test]
+    fn scale_is_accepted_on_the_sweep_target_only() {
+        let cli = parse_args(&args(&["sweep", "--scale", "--quick"])).unwrap();
+        assert!(cli.scale && cli.quick);
+        assert_eq!(cli.target, "sweep");
+        // On any other target (including the implicit `all`) the flag would
+        // be a silent no-op, so it is rejected like an unknown flag.
+        let err = parse_args(&args(&["table1", "--scale"])).unwrap_err();
+        assert!(err.contains("--scale applies to the sweep target"), "{err}");
+        let err = parse_args(&args(&["--scale"])).unwrap_err();
+        assert!(err.contains("target is 'all'"), "{err}");
+    }
+
+    #[test]
     fn rejects_surplus_positional_arguments() {
         let err = parse_args(&args(&["table1", "table2"])).unwrap_err();
         assert!(err.contains("unexpected argument 'table2'"), "{err}");
@@ -711,7 +845,11 @@ mod tests {
     fn record(targets: Vec<(&'static str, f64)>) -> BenchRecord {
         let targets: Vec<TargetTiming> = targets
             .into_iter()
-            .map(|(target, wall_ms)| TargetTiming { target, wall_ms })
+            .map(|(target, wall_ms)| TargetTiming {
+                target,
+                wall_ms,
+                peak_mem_bytes: 0,
+            })
             .collect();
         BenchRecord {
             schema: "hybrid-bench-baseline/v1",

@@ -13,7 +13,10 @@
 //!   the per-instance lower bound over a `family × size × (λ, γ)` grid;
 //! * Fault sweeps (the [`faults_sweep`] module) — degradation-factor curves
 //!   under a seeded fault-injection adversary over a `family × size ×
-//!   fault-profile` grid.
+//!   fault-profile` grid;
+//! * The scale tier (the [`scale`] module) — the sweep question at
+//!   `n = 10⁵–10⁶` on streaming generators, row-streamed distances and
+//!   sampled `NQ` witnesses (`reproduce sweep --scale`).
 //!
 //! The round-count reproduction lives in the [`scenarios`] module and is
 //! driven by the `reproduce` binary (`cargo run -p hybrid-bench --bin
@@ -23,10 +26,12 @@
 //! same scenarios.
 
 pub mod faults_sweep;
+pub mod scale;
 pub mod scenarios;
 pub mod sweep;
 
 pub use faults_sweep::{fault_sweep_rows, FaultProfile, FaultSweepConfig, FaultSweepRow};
+pub use scale::{scale_rows, ScaleConfig, ScaleRow};
 pub use scenarios::{
     appendix_b_rows, figure1_rows, table1_rows, table2_rows, table3_rows, table4_rows, GraphFamily,
 };

@@ -216,8 +216,9 @@ fn ratio(rounds: u64, lower_bound: f64) -> f64 {
 }
 
 /// Mixes the cell coordinates into the master seed (SplitMix64 finalizer, so
-/// neighbouring cells get unrelated streams).
-fn cell_seed(seed: u64, family_idx: usize, n: usize, salt: u64) -> u64 {
+/// neighbouring cells get unrelated streams).  Shared with the scale tier
+/// (`crate::scale`), which addresses its cells the same way.
+pub fn cell_seed(seed: u64, family_idx: usize, n: usize, salt: u64) -> u64 {
     let mut z = seed
         ^ (family_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ (n as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)

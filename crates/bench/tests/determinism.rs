@@ -11,6 +11,7 @@
 //! compare the serialized rows byte for byte.
 
 use hybrid_bench::faults_sweep::{fault_sweep_rows, FaultSweepConfig};
+use hybrid_bench::scale::{scale_rows, ScaleConfig};
 use hybrid_bench::scenarios::{figure1_rows, table1_rows, table2_rows, GraphFamily};
 use hybrid_bench::sweep::{sweep_rows, SweepConfig};
 use rayon::prelude::*;
@@ -70,6 +71,38 @@ fn sweep_quick_rows_bit_identical_across_pool_sizes() {
     for threads in &WIDTHS[1..] {
         let got = on_pool(*threads, run);
         assert_eq!(got, reference, "sweep rows diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn scale_rows_bit_identical_across_pool_sizes() {
+    // The scale tier composes the streaming generators (parallel chunked
+    // edge emission with canonical per-chunk streams), the parallel
+    // `DistanceRows` fan-out and the sampled `NQ` oracle — every one of
+    // which must be worker-schedule-invariant for `results/sweep_scale.json`
+    // to survive the CI cross-thread diff.  A shrunk grid over the random
+    // families (the only ones whose generators consume RNG streams) plus a
+    // deterministic one keeps this fast.
+    let run = || {
+        let config = ScaleConfig {
+            sizes: vec![512, 2048],
+            families: vec![
+                GraphFamily::Grid2D,
+                GraphFamily::ErdosRenyi,
+                GraphFamily::RandomGeometric,
+                GraphFamily::ChungLu,
+            ],
+            sources: 8,
+            nq_samples: 16,
+            exact_crosscheck_max: 512,
+            seed: 0x5CA1E,
+        };
+        serde_json::to_string_pretty(&scale_rows(&config)).unwrap()
+    };
+    let reference = on_pool(1, run);
+    for threads in &WIDTHS[1..] {
+        let got = on_pool(*threads, run);
+        assert_eq!(got, reference, "scale rows diverged at {threads} threads");
     }
 }
 

@@ -28,6 +28,7 @@ use crate::dissemination::{disseminate_with_radius, RadiusPolicy, TokenPlacement
 use crate::minplus;
 use crate::nq::NqOracle;
 use crate::prob::ln_n;
+use crate::rows::DistanceRows;
 use crate::skeleton::build_skeleton;
 use crate::spanner::greedy_spanner;
 use crate::sssp::{quantize_distance, sssp_round_cost};
@@ -96,6 +97,44 @@ impl ApspOutput {
         let mut worst: f64 = 1.0;
         for row in rows {
             worst = worst.max(row?);
+        }
+        Ok(worst)
+    }
+
+    /// Verifies the labels only on the rows of a sampled source set, against
+    /// exact [`DistanceRows`] — the `O(|S|·n)` scale-tier port of
+    /// [`ApspOutput::verify_stretch_against`], for instances where the full
+    /// `n × n` exact matrix is out of memory reach.
+    pub fn verify_stretch_rows(&self, exact: &DistanceRows) -> Result<f64, String> {
+        let mut worst: f64 = 1.0;
+        for (i, &s) in exact.sources().iter().enumerate() {
+            let approx_row = self
+                .dist
+                .get(s as usize)
+                .ok_or_else(|| format!("source {s} outside the label matrix"))?;
+            let exact_row = exact.row(i);
+            for (w, (&e, &a)) in exact_row.iter().zip(approx_row).enumerate() {
+                if e == 0 {
+                    if a != 0 {
+                        return Err(format!("({s},{w}): nonzero self label"));
+                    }
+                    continue;
+                }
+                if a == INFINITY || e == INFINITY {
+                    return Err(format!("({s},{w}): infinite label on connected graph"));
+                }
+                if a < e {
+                    return Err(format!("({s},{w}): label {a} underestimates {e}"));
+                }
+                let ratio = a as f64 / e as f64;
+                if ratio > self.stretch + 1e-9 {
+                    return Err(format!(
+                        "({s},{w}): stretch {ratio:.3} exceeds promised {}",
+                        self.stretch
+                    ));
+                }
+                worst = worst.max(ratio);
+            }
         }
         Ok(worst)
     }
@@ -496,6 +535,22 @@ mod tests {
             let out = apsp_unweighted(&mut net, &oracle, 0.8);
             out.verify_stretch(&g).unwrap();
         }
+    }
+
+    #[test]
+    fn row_verification_agrees_with_the_full_matrix_check() {
+        let (g, oracle, mut net) = setup(generators::grid(&[7, 7]).unwrap());
+        let out = apsp_unweighted(&mut net, &oracle, 0.5);
+        let full_worst = out.verify_stretch(&g).unwrap();
+        let sources = [0u32, 13, 24, 48];
+        let rows = DistanceRows::compute(&g, &sources);
+        let row_worst = out.verify_stretch_rows(&rows).unwrap();
+        // The sampled-row check is the same predicate restricted to |S| rows.
+        assert!(row_worst <= full_worst + 1e-12);
+        // A corrupted label on a sampled row is caught.
+        let mut bad = out.clone();
+        bad.dist[13][40] = 1;
+        assert!(bad.verify_stretch_rows(&rows).is_err());
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod nq;
 pub mod overlay;
 pub mod prob;
 pub mod routing;
+pub mod rows;
 pub mod skeleton;
 pub mod spanner;
 pub mod sssp;
@@ -80,5 +81,6 @@ pub use cluster::{cluster_by_nq, cluster_with_radius};
 pub use dissemination::{
     baseline_sqrt_k_dissemination, k_aggregation, k_dissemination, DisseminationOutput,
 };
-pub use nq::{compute_nq, NqOracle};
+pub use nq::{compute_nq, NqEstimate, NqOracle, NqSource, SampledNqOracle};
 pub use routing::{baseline_sqrt_k_routing, kl_routing, RoutingOutput, RoutingScenario};
+pub use rows::DistanceRows;

@@ -19,7 +19,7 @@
 use hybrid_graph::NodeId;
 use hybrid_sim::ModelParams;
 
-use crate::nq::NqOracle;
+use crate::nq::NqSource;
 
 /// Lemma 7.1 — round lower bound for the node communication problem.
 ///
@@ -64,8 +64,13 @@ pub struct LowerBoundWitness {
 /// `k`-dissemination (and, by reduction, `k`-aggregation and
 /// `(k, ℓ)`-routing with arbitrary targets), on the *given* graph, for
 /// algorithms succeeding with probability `p`.
+///
+/// Generic over [`NqSource`]: the exact [`crate::nq::NqOracle`] yields the
+/// exact witness; a [`crate::nq::SampledNqOracle`] yields a sound sampled
+/// witness (its `NQ_k` and ball values are exact for the sampled node, which
+/// just may not be the global maximizer).
 pub fn dissemination_lower_bound(
-    oracle: &NqOracle,
+    oracle: &impl NqSource,
     params: &ModelParams,
     k: u64,
     success_probability: f64,
@@ -105,7 +110,7 @@ pub fn dissemination_lower_bound(
 /// `Hybrid0` (identifiers must be learned, so the `k`-dissemination reduction
 /// applies verbatim).
 pub fn unweighted_kssp_lower_bound(
-    oracle: &NqOracle,
+    oracle: &impl NqSource,
     params: &ModelParams,
     k: u64,
     success_probability: f64,
@@ -118,7 +123,7 @@ pub fn unweighted_kssp_lower_bound(
 /// any polynomial stretch.  The planted random variable has entropy `k` bits
 /// (one bit per source: which of the two distant node sets hosts it).
 pub fn shortest_paths_lower_bound(
-    oracle: &NqOracle,
+    oracle: &impl NqSource,
     params: &ModelParams,
     k: u64,
     success_probability: f64,
@@ -154,6 +159,7 @@ pub fn shortest_paths_lower_bound(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::nq::NqOracle;
     use hybrid_graph::generators;
 
     #[test]
@@ -218,6 +224,23 @@ mod tests {
         // NQ_k itself.
         assert!(w.rounds >= w.nq as f64 / (2.0 * params.gamma_bits() as f64));
         assert!(w.rounds <= w.nq as f64);
+    }
+
+    #[test]
+    fn sampled_oracle_yields_a_sound_witness() {
+        use crate::nq::SampledNqOracle;
+        let g = generators::path(600).unwrap();
+        let params = ModelParams::hybrid(g.n());
+        let k = 600u64;
+        let exact = NqOracle::new(&g);
+        let sampled = SampledNqOracle::new(&g, 32, k, 0.02, 5);
+        let we = dissemination_lower_bound(&exact, &params, k, 0.9);
+        let ws = dissemination_lower_bound(&sampled, &params, k, 0.9);
+        // The sampled NQ estimate is a guaranteed lower bound on the exact
+        // one, and the resulting witness keeps the Ω̃(NQ_k) shape.
+        assert!(ws.nq <= we.nq);
+        assert!(ws.rounds <= ws.nq as f64);
+        assert!(ws.rounds > 0.0, "path NQ is large; sampling keeps it so");
     }
 
     #[test]

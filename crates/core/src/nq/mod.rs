@@ -20,10 +20,48 @@
 //! rounds on a [`HybridNetwork`].
 
 pub mod families;
+pub mod sampled;
 
 use hybrid_graph::balls::BallOracle;
 use hybrid_graph::{Graph, NodeId};
 use hybrid_sim::HybridNetwork;
+
+pub use sampled::{NqEstimate, SampledNqOracle};
+
+/// Common interface over the exact [`NqOracle`] and the scale tier's
+/// [`SampledNqOracle`], covering exactly the queries the universal lower
+/// bounds (Theorem 4, Lemma 7.2, Theorems 11/12) consume: the `NQ_k` value,
+/// its witness node, and ball sizes around that witness.
+///
+/// The exact oracle answers for every node; the sampled oracle answers the
+/// same queries over its sampled node set (its `nq`/`witness` are the sample
+/// maximum — a guaranteed *lower* estimate of the population maximum, with
+/// quantile coverage recorded by [`SampledNqOracle::nq_estimate`]).
+pub trait NqSource {
+    /// Number of nodes of the underlying graph.
+    fn n(&self) -> usize;
+    /// `NQ_k(G)` (exact) or its sample maximum (sampled).
+    fn nq(&self, k: u64) -> u64;
+    /// A node attaining [`NqSource::nq`].
+    fn witness(&self, k: u64) -> NodeId;
+    /// `|B_t(v)|` for any node the source has a profile for.
+    fn ball_size(&self, v: NodeId, t: u64) -> usize;
+}
+
+impl NqSource for NqOracle {
+    fn n(&self) -> usize {
+        NqOracle::n(self)
+    }
+    fn nq(&self, k: u64) -> u64 {
+        NqOracle::nq(self, k)
+    }
+    fn witness(&self, k: u64) -> NodeId {
+        NqOracle::witness(self, k)
+    }
+    fn ball_size(&self, v: NodeId, t: u64) -> usize {
+        NqOracle::ball_size(self, v, t)
+    }
+}
 
 /// Exact, centralized oracle for `NQ_k(v)` and `NQ_k(G)` with cached ball
 /// profiles, supporting repeated queries for different workloads `k`.

@@ -17,6 +17,24 @@ pub struct GraphBuilder {
     seen: HashSet<(NodeId, NodeId)>,
 }
 
+/// Largest node count representable in the `u32` id space.
+pub const MAX_NODES: usize = u32::MAX as usize;
+
+/// Largest edge count whose arc array (`2 × edges`) still fits `u32` indices.
+pub const MAX_EDGES: usize = (u32::MAX / 2) as usize;
+
+/// Returns a clean error when `n` nodes or `edges` undirected edges would
+/// overflow the `u32` id / arc index space of the CSR representation.
+fn validate_counts(n: usize, edges: usize) -> Result<()> {
+    if n > MAX_NODES {
+        return Err(GraphError::TooManyNodes { n });
+    }
+    if edges > MAX_EDGES {
+        return Err(GraphError::TooManyArcs { arcs: edges * 2 });
+    }
+    Ok(())
+}
+
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` nodes (ids `0..n`).
     pub fn new(n: usize) -> Self {
@@ -25,6 +43,49 @@ impl GraphBuilder {
             edges: Vec::new(),
             seen: HashSet::new(),
         }
+    }
+
+    /// Creates a builder pre-sized for exactly `m` edges on `n` nodes, so the
+    /// edge list and the duplicate-detection set never reallocate while a
+    /// generator streams edges in.  Generators know their exact edge counts
+    /// (`n − 1` for a path, `Σ (sideᵢ − 1)·Πⱼ≠ᵢ sideⱼ` for a grid, …), which
+    /// makes this the large-`n` fast path.
+    ///
+    /// # Errors
+    /// [`GraphError::TooManyNodes`] / [`GraphError::TooManyArcs`] when the
+    /// requested counts would overflow the `u32` id or arc index space —
+    /// checked *before* any allocation is attempted.
+    pub fn with_capacity(n: usize, m: usize) -> Result<Self> {
+        validate_counts(n, m)?;
+        Ok(GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+            seen: HashSet::with_capacity(m),
+        })
+    }
+
+    /// Streaming-generator constructor: pre-sizes the edge list for exactly
+    /// `m` edges but leaves the duplicate-detection set empty — the streaming
+    /// generators guarantee simplicity by construction and feed edges through
+    /// [`Self::push_normalized_edge`], so paying a `HashSet` per edge at
+    /// `n = 10⁶` would be pure overhead.
+    pub(crate) fn streaming(n: usize, m: usize) -> Result<Self> {
+        validate_counts(n, m)?;
+        Ok(GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+            seen: HashSet::new(),
+        })
+    }
+
+    /// Appends an edge the caller guarantees is normalized (`u < v`), in
+    /// range, simple and positively weighted.  Only the streaming generators
+    /// use this; the invariants are checked in debug builds.
+    pub(crate) fn push_normalized_edge(&mut self, u: NodeId, v: NodeId, w: Weight) {
+        debug_assert!(u < v, "streamed edge must be normalized: ({u}, {v})");
+        debug_assert!((v as usize) < self.n, "streamed endpoint {v} out of range");
+        debug_assert!(w >= 1, "streamed edge ({u}, {v}) has zero weight");
+        self.edges.push((u, v, w));
     }
 
     /// Number of nodes of the graph being built.
@@ -61,6 +122,11 @@ impl GraphBuilder {
         if w == 0 {
             return Err(GraphError::ZeroWeight { u, v });
         }
+        if self.edges.len() >= MAX_EDGES {
+            return Err(GraphError::TooManyArcs {
+                arcs: (self.edges.len() + 1) * 2,
+            });
+        }
         let key = (u.min(v), u.max(v));
         if !self.seen.insert(key) {
             return Err(GraphError::DuplicateEdge { u: key.0, v: key.1 });
@@ -89,6 +155,7 @@ impl GraphBuilder {
         if self.n == 0 {
             return Err(GraphError::Empty);
         }
+        validate_counts(self.n, self.edges.len())?;
         let mut uf = UnionFind::new(self.n);
         for &(u, v, _) in &self.edges {
             uf.union(u as usize, v as usize);
@@ -216,6 +283,49 @@ mod tests {
         let g = b.build_unchecked_connectivity();
         assert_eq!(g.n(), 4);
         assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn count_validation_at_the_u32_boundaries() {
+        // Exactly representable counts pass …
+        assert!(validate_counts(MAX_NODES, MAX_EDGES).is_ok());
+        // … one past either boundary fails with the matching error.
+        assert_eq!(
+            validate_counts(MAX_NODES + 1, 0).unwrap_err(),
+            GraphError::TooManyNodes { n: MAX_NODES + 1 }
+        );
+        assert_eq!(
+            validate_counts(4, MAX_EDGES + 1).unwrap_err(),
+            GraphError::TooManyArcs {
+                arcs: (MAX_EDGES + 1) * 2,
+            }
+        );
+    }
+
+    #[test]
+    fn with_capacity_rejects_overflow_before_allocating() {
+        assert_eq!(
+            GraphBuilder::with_capacity(MAX_NODES + 1, 0).unwrap_err(),
+            GraphError::TooManyNodes { n: MAX_NODES + 1 }
+        );
+        assert_eq!(
+            GraphBuilder::with_capacity(4, MAX_EDGES + 1).unwrap_err(),
+            GraphError::TooManyArcs {
+                arcs: (MAX_EDGES + 1) * 2,
+            }
+        );
+        let b = GraphBuilder::with_capacity(4, 3).unwrap();
+        assert_eq!(b.n(), 4);
+        assert_eq!(b.m(), 0);
+    }
+
+    #[test]
+    fn build_rejects_node_count_past_u32() {
+        let b = GraphBuilder::new(MAX_NODES + 1);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::TooManyNodes { n: MAX_NODES + 1 }
+        );
     }
 
     #[test]

@@ -158,6 +158,15 @@ impl Graph {
         builder.build_unchecked_connectivity()
     }
 
+    /// Bytes held by the CSR arrays (offsets, arcs, undirected edge list).
+    /// The scale tier reports this next to the distance-row footprint so the
+    /// `O(|S|·n)` memory claim is measured rather than asserted.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.offsets.len() * std::mem::size_of::<u32>()
+            + self.arcs.len() * std::mem::size_of::<Arc>()
+            + self.edges.len() * std::mem::size_of::<(NodeId, NodeId, Weight)>()) as u64
+    }
+
     /// `⌈log2(n)⌉`, at least 1 — the paper's message-size / global-capacity
     /// unit `O(log n)` uses this.
     pub fn log2_n(&self) -> usize {
@@ -223,6 +232,13 @@ mod tests {
         let sub = g.edge_subgraph(|e| e % 2 == 0);
         assert_eq!(sub.n(), 6);
         assert_eq!(sub.m(), 3);
+    }
+
+    #[test]
+    fn memory_bytes_counts_all_three_arrays() {
+        let g = generators::path(5).unwrap();
+        // offsets: 6 × 4 B, arcs: 8 × 16 B, edges: 4 × 16 B.
+        assert_eq!(g.memory_bytes(), 6 * 4 + 8 * 16 + 4 * 16);
     }
 
     #[test]

@@ -43,6 +43,17 @@ pub enum GraphError {
         /// Human readable description of the parameter problem.
         reason: String,
     },
+    /// The requested node count does not fit the `u32` id space.
+    TooManyNodes {
+        /// The requested number of nodes.
+        n: usize,
+    },
+    /// The requested edge count would overflow the `u32` arc index space
+    /// (every undirected edge stores two arcs).
+    TooManyArcs {
+        /// The number of arcs (`2 × edges`) that was requested.
+        arcs: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -63,6 +74,20 @@ impl fmt::Display for GraphError {
             }
             GraphError::Empty => write!(f, "graph must have at least one node"),
             GraphError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            GraphError::TooManyNodes { n } => {
+                write!(
+                    f,
+                    "{n} nodes do not fit the u32 id space (max {})",
+                    u32::MAX
+                )
+            }
+            GraphError::TooManyArcs { arcs } => {
+                write!(
+                    f,
+                    "{arcs} arcs (2 x edges) overflow the u32 arc index space (max {})",
+                    u32::MAX
+                )
+            }
         }
     }
 }
@@ -92,5 +117,9 @@ mod tests {
             reason: "d must be positive".into(),
         };
         assert!(e.to_string().contains("d must be positive"));
+        let e = GraphError::TooManyNodes { n: 1 << 33 };
+        assert!(e.to_string().contains("u32 id space"));
+        let e = GraphError::TooManyArcs { arcs: 1 << 33 };
+        assert!(e.to_string().contains("arc index space"));
     }
 }

@@ -36,6 +36,7 @@ pub mod dijkstra;
 pub mod error;
 pub mod generators;
 pub mod properties;
+pub mod streaming;
 pub mod traversal;
 pub mod unionfind;
 

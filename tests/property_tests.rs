@@ -545,3 +545,125 @@ proptest! {
         prop_assert_eq!(d, expected);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Scale tier (ARCHITECTURE.md "Scale tier"): on graphs small enough to
+    /// afford the exact oracle (n ≤ 512), every sampled `NQ_k` witness agrees
+    /// with the exact one within its recorded semantics — per-sampled-node
+    /// values are *exact*, the estimate is a guaranteed lower bound on the
+    /// population maximum, the recorded confidence is `1 − (1−q)^s`, and a
+    /// full sample recovers the exact maximum.
+    #[test]
+    fn sampled_nq_agrees_with_exact_within_recorded_semantics(
+        graph in arbitrary_graph(),
+        k_sel in 1u64..5000,
+        sample in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        use hybrid::core::nq::{NqSource, SampledNqOracle};
+        let n = graph.n() as u64;
+        let k = k_sel.clamp(1, n);
+        let exact = NqOracle::new(&graph);
+        let sampled = SampledNqOracle::new(&graph, sample, n, 0.02, seed);
+        let est = sampled.nq_estimate(k);
+        prop_assert!(est.estimate <= exact.nq(k), "sample max exceeded the exact max");
+        prop_assert!((est.confidence - (1.0 - 0.98f64.powi(est.sample_size as i32))).abs() < 1e-12);
+        for v in sampled.sampled_nodes().collect::<Vec<_>>() {
+            prop_assert!(sampled.nq_of(v, k) == exact.nq_of(v, k), "node {} diverged", v);
+        }
+        let full = SampledNqOracle::new(&graph, graph.n(), n, 0.02, seed);
+        prop_assert_eq!(NqSource::nq(&full, k), exact.nq(k));
+    }
+
+    /// Scale tier: exact `DistanceRows` over a sampled source set equal the
+    /// corresponding rows of the full exact distance matrix, for any source
+    /// choice and thread count — the representation changes, the results do
+    /// not.
+    #[test]
+    fn distance_rows_match_matrix_rows(graph in arbitrary_graph(), picks in prop::collection::vec(any::<u32>(), 1..6)) {
+        use hybrid::core::rows::DistanceRows;
+        let n = graph.n() as u32;
+        let mut sources: Vec<u32> = picks.iter().map(|&p| p % n).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        let rows = DistanceRows::compute(&graph, &sources);
+        let full = hybrid::graph::dijkstra::apsp_exact(&graph);
+        for (i, &s) in sources.iter().enumerate() {
+            prop_assert_eq!(rows.row(i), &full[s as usize][..]);
+        }
+        prop_assert_eq!(rows.memory_bytes(), (sources.len() * graph.n() * 8 + sources.len() * 4) as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Streaming generators (deterministic families): bit-identical to the
+    /// legacy sequential generators at overlapping sizes, at every pool
+    /// width — the chunked emission is a pure re-chunking of the same edge
+    /// stream.
+    #[test]
+    fn streaming_deterministic_families_match_legacy_at_any_width(n in 10usize..400) {
+        use hybrid::graph::streaming;
+        let side = ((n as f64).sqrt().ceil() as usize).max(2);
+        let legacy: Vec<Graph> = vec![
+            generators::path(n).unwrap(),
+            generators::cycle(n.max(3)).unwrap(),
+            generators::grid(&[side, side]).unwrap(),
+            generators::tree_with_n(2, n).unwrap(),
+            generators::ring_of_cliques(n.div_ceil(8).max(3), 8, 2).unwrap(),
+            generators::barbell((3 * n / 8).max(2), n.saturating_sub(2 * (3 * n / 8).max(2))).unwrap(),
+        ];
+        for threads in [1usize, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let streamed: Vec<Graph> = pool.install(|| {
+                vec![
+                    streaming::path(n).unwrap(),
+                    streaming::cycle(n.max(3)).unwrap(),
+                    streaming::grid(&[side, side]).unwrap(),
+                    streaming::tree_with_n(2, n).unwrap(),
+                    streaming::ring_of_cliques(n.div_ceil(8).max(3), 8, 2).unwrap(),
+                    streaming::barbell((3 * n / 8).max(2), n.saturating_sub(2 * (3 * n / 8).max(2))).unwrap(),
+                ]
+            });
+            for (l, s) in legacy.iter().zip(&streamed) {
+                prop_assert!(l.edges() == s.edges(), "diverged at {} threads", threads);
+            }
+        }
+    }
+
+    /// Streaming generators (random families): the canonical per-chunk
+    /// streams are seed-deterministic and pool-width invariant — the edge
+    /// list is a pure function of `(family, n, seed)`, never of the worker
+    /// count.
+    #[test]
+    fn streaming_random_families_are_pool_width_invariant(
+        n in 64usize..600,
+        seed in any::<u64>(),
+    ) {
+        use hybrid::graph::streaming;
+        let build = || -> Vec<Graph> {
+            vec![
+                streaming::erdos_renyi(n, (6.0 / n as f64).min(1.0), seed).unwrap(),
+                streaming::random_geometric(n, (8.0 / n as f64).sqrt().min(0.9), seed).unwrap(),
+                streaming::chung_lu(n, 2.5, 6.0, seed).unwrap(),
+            ]
+        };
+        let reference = build();
+        for threads in [1usize, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let got = pool.install(build);
+            for (r, g) in reference.iter().zip(&got) {
+                prop_assert!(r.edges() == g.edges(), "diverged at {} threads", threads);
+            }
+        }
+    }
+}
