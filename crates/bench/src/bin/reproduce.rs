@@ -32,11 +32,11 @@ use hybrid_bench::scale::{scale_rows, ScaleConfig};
 use hybrid_bench::scenarios::{
     appendix_b_rows, figure1_rows, table1_rows, table2_rows, table3_rows, table4_rows, GraphFamily,
 };
-use hybrid_bench::sweep::{sweep_rows, SweepConfig};
+use hybrid_bench::sweep::{sweep_rows_with, validate_sweep_artifact, SweepConfig};
 use serde::Serialize;
 
 const USAGE: &str =
-    "usage: reproduce [table1|table2|table3|table4|figure1|appendix-b|sweep|faults|all] [--scale] [--quick] [--check-regression] [--strict]";
+    "usage: reproduce [table1|table2|table3|table4|figure1|appendix-b|sweep|faults|all] [--scale] [--algo <name,...>] [--quick] [--check-regression] [--strict]";
 
 /// Parsed command line of the `reproduce` binary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +48,9 @@ struct Cli {
     /// Run the sweep target as the million-node scale tier
     /// (`sweep --scale` → `results/sweep_scale.json`).
     scale: bool,
+    /// Restrict the sweep shootout to these registry names
+    /// (`--algo theorem1,schneider`); `None` runs every registered algorithm.
+    algo: Option<Vec<String>>,
     /// Compare against `BENCH_baseline.json`.
     check_regression: bool,
     /// Escalate regression warnings to a non-zero exit (CI mode; implies
@@ -63,13 +66,35 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         target: String::new(),
         quick: false,
         scale: false,
+        algo: None,
         check_regression: false,
         strict: false,
     };
-    for arg in args {
+    let parse_algo_list = |value: &str| -> Vec<String> {
+        value
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
         match arg.as_str() {
             "--quick" => cli.quick = true,
             "--scale" => cli.scale = true,
+            "--algo" => {
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    return Err(format!(
+                        "--algo requires a value (comma-separated algorithm names)\n{USAGE}"
+                    ));
+                };
+                cli.algo = Some(parse_algo_list(value));
+            }
+            inline if inline.starts_with("--algo=") => {
+                cli.algo = Some(parse_algo_list(&inline["--algo=".len()..]));
+            }
             "--check-regression" => cli.check_regression = true,
             "--strict" => cli.strict = true,
             flag if flag.starts_with("--") => {
@@ -83,6 +108,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 ));
             }
         }
+        i += 1;
     }
     if cli.target.is_empty() {
         cli.target = "all".to_string();
@@ -98,6 +124,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         return Err(format!(
             "--scale applies to the sweep target only (target is '{}')\n{USAGE}",
             cli.target
+        ));
+    }
+    // `--algo` filters the shootout, which only the plain sweep target runs;
+    // anywhere else it would silently select nothing (the `--qiuck` bug class).
+    if cli.algo.is_some() && (cli.target != "sweep" || cli.scale) {
+        return Err(format!(
+            "--algo applies to the sweep shootout only (target is '{}'{})\n{USAGE}",
+            cli.target,
+            if cli.scale { " --scale" } else { "" }
         ));
     }
     Ok(cli)
@@ -528,7 +563,12 @@ fn run_appendix_b(quick: bool) -> u64 {
 
 /// Returns the dominant allocation: the largest cell's exact `n × n` distance
 /// matrix (the memory wall the scale tier exists to avoid).
-fn run_sweep(quick: bool) -> u64 {
+///
+/// Every cell is a *shootout*: each registry algorithm (optionally filtered
+/// by `--algo`) runs on the same instance and is printed next to the same
+/// lower-bound witness.  A typed registry error (unknown name, empty
+/// selection) exits with code 2 and the usage string.
+fn run_sweep(quick: bool, algo: Option<&[String]>) -> u64 {
     let config = if quick {
         SweepConfig::quick()
     } else {
@@ -536,54 +576,89 @@ fn run_sweep(quick: bool) -> u64 {
     };
     let n_max = *config.sizes.iter().max().expect("sizes is non-empty") as u64;
     println!(
-        "\n=== Scaling sweep: rounds vs. per-instance lower bound ({} families x {} sizes x {} (lambda, gamma) points) ===",
+        "\n=== Scaling sweep: algorithm shootout vs. per-instance lower bound ({} families x {} sizes x {} (lambda, gamma) points) ===",
         GraphFamily::all().len(),
         config.sizes.len(),
         config.points.len()
     );
+    let rows = match sweep_rows_with(GraphFamily::all(), &config, algo) {
+        Ok(rows) => rows,
+        Err(err) => {
+            eprintln!("{err}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
     println!(
-        "{:<18}{:>6} {:<14}{:>6}{:>7}{:>7}{:>11}{:>10}{:>8}{:>9}{:>10}{:>8}{:>7}{:>9}{:>9}{:>8}",
-        "family",
-        "n",
-        "point",
-        "gamma",
-        "k",
-        "NQ_k",
-        "diss-rnds",
-        "diss-LB",
-        "ratio",
-        "NQ-ratio",
-        "sssp-rnds",
-        "ratio",
-        "k-SSP",
-        "rounds",
-        "LB",
-        "ratio"
+        "{:<18}{:>6} {:<14}{:>6}{:>7}{:>7}{:>10}{:>12}{:>7}{:>8}",
+        "family", "n", "point", "gamma", "k", "NQ_k", "diss-LB", "sssp(T13)", "kssp-k", "kssp-LB"
     );
-    let rows = sweep_rows(GraphFamily::all(), &config);
     for r in &rows {
         println!(
-            "{:<18}{:>6} {:<14}{:>6}{:>7}{:>7}{:>11}{:>10.2}{:>8.2}{:>9.2}{:>10}{:>8.2}{:>7}{:>9}{:>9}{:>8.2}",
+            "{:<18}{:>6} {:<14}{:>6}{:>7}{:>7}{:>10.2}{:>7}/{:<4.2}{:>7}{:>8}",
             r.family,
             r.n,
             r.point,
             r.gamma_msgs,
             r.k,
             r.nq_k,
-            r.dissemination_rounds,
             r.dissemination_lower_bound,
-            r.dissemination_ratio,
-            r.dissemination_nq_ratio,
             r.sssp_rounds,
             r.sssp_ratio,
             r.kssp_k,
-            r.kssp_rounds,
-            r.kssp_lower_bound,
-            r.kssp_ratio
+            r.kssp_lower_bound
         );
+        let diss: Vec<String> = r
+            .dissemination
+            .iter()
+            .map(|c| format!("{}={} ({:.2}x)", c.algorithm, c.rounds, c.ratio))
+            .collect();
+        let ks: Vec<String> = r
+            .kssp
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}={} ({:.2}x, stretch {:.2})",
+                    c.algorithm, c.rounds, c.ratio, c.stretch
+                )
+            })
+            .collect();
+        if !diss.is_empty() {
+            println!("    diss: {}", diss.join("  "));
+        }
+        if !ks.is_empty() {
+            println!("    kssp: {}", ks.join("  "));
+        }
     }
     write_json("sweep_scaling", &rows);
     n_max * n_max * 8
+}
+
+/// Re-reads the shootout artifact this run just wrote (or a baseline copy CI
+/// diffs against) and fails loudly when its schema is corrupt.  Returns the
+/// number of gate failures (0 or 1), counted like a regressed target under
+/// `--strict`.
+fn gate_sweep_artifact(artifact_text: Option<&str>, strict: bool) -> usize {
+    let annotation = if strict { "error" } else { "warning" };
+    let fail = |message: String| -> usize {
+        println!("::{annotation} title=sweep artifact::{message}");
+        if strict {
+            println!("[regression gate] sweep_scaling.json failed validation (--strict: failing the run)");
+            1
+        } else {
+            println!("[regression gate] sweep_scaling.json failed validation (warn-only)");
+            0
+        }
+    };
+    match artifact_text {
+        None => fail("results/sweep_scaling.json is missing or unreadable".to_string()),
+        Some(text) => match validate_sweep_artifact(text) {
+            Ok(()) => {
+                println!("[regression gate] sweep_scaling.json shootout schema ok");
+                0
+            }
+            Err(err) => fail(format!("malformed shootout artifact: {err}")),
+        },
+    }
 }
 
 /// The million-node scale tier (`sweep --scale`): streaming generators,
@@ -720,6 +795,7 @@ fn main() {
         }
     };
     let quick = cli.quick;
+    let algo = cli.algo.clone();
 
     let timings = match cli.target.as_str() {
         "table1" => vec![timed("table1", || run_table1(quick))],
@@ -729,7 +805,7 @@ fn main() {
         "figure1" => vec![timed("figure1", || run_figure1(quick))],
         "appendix-b" => vec![timed("appendix-b", || run_appendix_b(quick))],
         "sweep" if cli.scale => vec![timed("scale", || run_sweep_scale(quick))],
-        "sweep" => vec![timed("sweep", || run_sweep(quick))],
+        "sweep" => vec![timed("sweep", || run_sweep(quick, algo.as_deref()))],
         "faults" => vec![timed("faults", || run_faults(quick))],
         "all" => vec![
             timed("table1", || run_table1(quick)),
@@ -738,7 +814,7 @@ fn main() {
             timed("table4", || run_table4(quick)),
             timed("figure1", || run_figure1(quick)),
             timed("appendix-b", || run_appendix_b(quick)),
-            timed("sweep", || run_sweep(quick)),
+            timed("sweep", || run_sweep(quick, None)),
             timed("faults", || run_faults(quick)),
         ],
         other => {
@@ -756,7 +832,17 @@ fn main() {
     };
     record.write(cli.target == "all");
     if cli.check_regression {
-        let regressed = check_regression(&record, cli.strict);
+        let mut regressed = check_regression(&record, cli.strict);
+        // The shootout artifact is part of the gated contract: a malformed
+        // sweep_scaling.json (however it got that way) must fail loudly.
+        if cli.target == "all" || (cli.target == "sweep" && !cli.scale) {
+            regressed += gate_sweep_artifact(
+                fs::read_to_string(Path::new("results/sweep_scaling.json"))
+                    .ok()
+                    .as_deref(),
+                cli.strict,
+            );
+        }
         if cli.strict && regressed > 0 {
             std::process::exit(1);
         }
@@ -819,6 +905,57 @@ mod tests {
         assert!(err.contains("--scale applies to the sweep target"), "{err}");
         let err = parse_args(&args(&["--scale"])).unwrap_err();
         assert!(err.contains("target is 'all'"), "{err}");
+    }
+
+    #[test]
+    fn algo_filter_parses_both_spellings_on_sweep_only() {
+        let cli = parse_args(&args(&["sweep", "--algo", "theorem1,schneider"])).unwrap();
+        assert_eq!(
+            cli.algo,
+            Some(vec!["theorem1".to_string(), "schneider".to_string()])
+        );
+        let cli = parse_args(&args(&["sweep", "--algo=det-broadcast"])).unwrap();
+        assert_eq!(cli.algo, Some(vec!["det-broadcast".to_string()]));
+        // Empty value parses to an empty selection — the registry turns that
+        // into the typed EmptyRegistry error downstream.
+        let cli = parse_args(&args(&["sweep", "--algo="])).unwrap();
+        assert_eq!(cli.algo, Some(Vec::new()));
+        // Missing value and wrong targets are CLI errors (exit 2 + usage).
+        let err = parse_args(&args(&["sweep", "--algo"])).unwrap_err();
+        assert!(err.contains("--algo requires a value"), "{err}");
+        let err = parse_args(&args(&["table1", "--algo=theorem1"])).unwrap_err();
+        assert!(
+            err.contains("--algo applies to the sweep shootout"),
+            "{err}"
+        );
+        let err = parse_args(&args(&["sweep", "--scale", "--algo=theorem1"])).unwrap_err();
+        assert!(
+            err.contains("--algo applies to the sweep shootout"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn sweep_artifact_gate_counts_malformed_artifacts_under_strict() {
+        // Missing artifact.
+        assert_eq!(gate_sweep_artifact(None, false), 0);
+        assert_eq!(gate_sweep_artifact(None, true), 1);
+        // Structurally broken artifact (no shootout columns).
+        let junk = r#"[{"family": "path", "n": 64}]"#;
+        assert_eq!(gate_sweep_artifact(Some(junk), false), 0);
+        assert_eq!(gate_sweep_artifact(Some(junk), true), 1);
+        // A well-formed row passes: three contenders per shootout column.
+        let good = r#"[{"family":"path","dissemination_lower_bound":1.0,
+            "dissemination":[
+              {"algorithm":"theorem1","ratio":1.0},
+              {"algorithm":"det-broadcast","ratio":2.0},
+              {"algorithm":"sqrt-k-baseline","ratio":3.0}],
+            "kssp_lower_bound":1,
+            "kssp":[
+              {"algorithm":"theorem14","ratio":1.5},
+              {"algorithm":"theorem14-proxy","ratio":1.8},
+              {"algorithm":"schneider","ratio":9.0}]}]"#;
+        assert_eq!(gate_sweep_artifact(Some(good), true), 0);
     }
 
     #[test]

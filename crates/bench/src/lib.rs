@@ -35,4 +35,7 @@ pub use scale::{scale_rows, ScaleConfig, ScaleRow};
 pub use scenarios::{
     appendix_b_rows, figure1_rows, table1_rows, table2_rows, table3_rows, table4_rows, GraphFamily,
 };
-pub use sweep::{sweep_rows, SweepConfig, SweepPoint, SweepRow};
+pub use sweep::{
+    sweep_rows, sweep_rows_with, validate_sweep_artifact, DissCell, KsspCell, SweepArtifactError,
+    SweepConfig, SweepPoint, SweepRow, MIN_ALGORITHMS_PER_ROW,
+};

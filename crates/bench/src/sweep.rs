@@ -1,27 +1,33 @@
-//! Scaling sweeps: competitive-ratio curves against the per-instance lower
-//! bound over a `family × size × (λ, γ)` grid.
+//! Scaling sweeps: the algorithm **shootout** — competitive-ratio curves for
+//! every registered algorithm against the per-instance lower bound over a
+//! `family × size × (λ, γ)` grid.
 //!
 //! The paper's headline claim is *universal* optimality — on **every**
 //! topology the algorithms stay within polylog factors of that graph's own
 //! lower bound.  The table reproductions check fixed-size rows; this module
-//! measures the claim *at scale*: every [`GraphFamily`] is swept over a
-//! geometric ladder of sizes and a small grid of `HYBRID(λ, γ)` parameter
-//! points, and each cell records the measured rounds of the dissemination,
-//! SSSP and k-SSP pipelines **next to the instance's own lower-bound witness**
+//! measures the claim *at scale and against the competition*: every
+//! [`GraphFamily`] is swept over a geometric ladder of sizes and a small grid
+//! of `HYBRID(λ, γ)` parameter points, and each cell runs **every registered
+//! implementation** ([`hybrid_core::algorithm`]) on the *same instance* —
+//! same graph, same token placement, same sources — and records each one's
+//! measured rounds **next to the same per-instance lower-bound witness**
 //! (from `hybrid_core::lower_bounds` / `kssp_lower_bound_rounds`), plus the
-//! resulting competitive ratio.  Plotting `ratio` against `n` per family is
-//! the empirical universal-optimality curve: universal optimality predicts a
-//! polylog envelope on every family, while an existential `√k`-style bound
-//! only predicts it on the worst one.
+//! resulting competitive ratio.  Plotting `ratio` against `n` per family and
+//! per algorithm is the empirical universal-optimality curve: the paper's
+//! pipelines predict a flat polylog envelope on every family, the
+//! deterministic token-forwarding rival (`det-broadcast`, arXiv:2304.06317)
+//! pays for its funnel on token-heavy cells, and the skeleton-free Schneider
+//! baseline (`schneider`, arXiv:2306.05977) collapses on high-diameter
+//! families where its deepening bill is `Θ(hop-diameter)`.
 //!
 //! ## Determinism
 //!
 //! Cells are independent experiments: each `(family, n)` pair derives its own
 //! `ChaCha8` streams from the sweep seed and the cell coordinates, so the
-//! rayon fan-out (one task per `(family, n)` pair, `(λ, γ)` points run
-//! in-cell to share the graph and its `NQ` oracle) is bit-identical across
-//! `RAYON_NUM_THREADS` — pinned by `crates/bench/tests/determinism.rs` and
-//! the CI cross-thread artifact diff.
+//! rayon fan-out (one task per `(family, n)` pair, `(λ, γ)` points and
+//! algorithms run in-cell to share the graph and its `NQ` oracle) is
+//! bit-identical across `RAYON_NUM_THREADS` — pinned by
+//! `crates/bench/tests/determinism.rs` and the CI cross-thread artifact diff.
 
 use std::sync::Arc;
 
@@ -30,8 +36,9 @@ use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::Serialize;
 
-use hybrid_core::dissemination::{k_dissemination, place_tokens};
-use hybrid_core::kssp::{kssp, kssp_lower_bound_rounds, KsspVariant};
+use hybrid_core::algorithm::{select_algorithms, RegistryError, ShootoutSelection};
+use hybrid_core::dissemination::place_tokens;
+use hybrid_core::kssp::kssp_lower_bound_rounds;
 use hybrid_core::lower_bounds::{dissemination_lower_bound, shortest_paths_lower_bound};
 use hybrid_core::nq::NqOracle;
 use hybrid_core::prob::sample_distinct;
@@ -161,9 +168,47 @@ impl SweepConfig {
     }
 }
 
+/// One dissemination contender's result on a cell — all contenders in a row
+/// are measured against the same `dissemination_lower_bound` witness.
+#[derive(Debug, Clone, Serialize)]
+pub struct DissCell {
+    /// Registry name of the implementation.
+    pub algorithm: &'static str,
+    /// The paper it reproduces.
+    pub reference: &'static str,
+    /// Whether the schedule draws random bits.
+    pub deterministic: bool,
+    /// Measured rounds on this instance.
+    pub rounds: u64,
+    /// `rounds / max(1, dissemination_lower_bound)` — same witness for every
+    /// contender in the row.
+    pub ratio: f64,
+    /// `rounds / max(1, NQ_k)` — the `Ω̃(NQ_k)` form of the bound.
+    pub nq_ratio: f64,
+}
+
+/// One shortest-paths contender's result on a cell — all contenders in a row
+/// are measured against the same `kssp_lower_bound` witness.
+#[derive(Debug, Clone, Serialize)]
+pub struct KsspCell {
+    /// Registry name of the implementation.
+    pub algorithm: &'static str,
+    /// The paper it reproduces.
+    pub reference: &'static str,
+    /// Stretch the run guarantees for its labels.
+    pub stretch: f64,
+    /// Measured rounds on this instance.
+    pub rounds: u64,
+    /// `rounds / max(1, kssp_lower_bound)` — same witness for every
+    /// contender in the row.
+    pub ratio: f64,
+    /// Skeleton / landmark-set size the run used (0 = fast path).
+    pub skeleton_size: usize,
+}
+
 /// One cell of the scaling sweep: a `(family, n, λ, γ)` coordinate with the
-/// measured rounds, the instance's lower-bound witness and the competitive
-/// ratio for each pipeline.
+/// instance's lower-bound witnesses and, side by side, every registered
+/// algorithm's measured rounds and competitive ratio against them.
 #[derive(Debug, Clone, Serialize)]
 pub struct SweepRow {
     /// Graph family.
@@ -180,19 +225,14 @@ pub struct SweepRow {
     pub k: u64,
     /// Measured `NQ_k` of the instance.
     pub nq_k: u64,
-    /// Rounds of the universal `k`-dissemination (Theorem 1).
-    pub dissemination_rounds: u64,
-    /// The instance's Theorem 4 lower-bound witness, in rounds.
+    /// The instance's Theorem 4 lower-bound witness, in rounds — shared by
+    /// every entry of `dissemination`.
     pub dissemination_lower_bound: f64,
-    /// `dissemination_rounds / max(1, lower bound)`.
-    pub dissemination_ratio: f64,
-    /// `dissemination_rounds / max(1, NQ_k)` — the paper states the lower
-    /// bound as `Ω̃(NQ_k)`, and the Lemma 7.1 witness degenerates to 0 when
-    /// the instance is too small for the reduction (`NQ_k < 6` or a tiny
-    /// `h/2 − 1` local term), so this is the column whose flat polylog
-    /// envelope across *every* family is the universal-optimality signal.
-    pub dissemination_nq_ratio: f64,
-    /// Rounds of the Theorem 13 `(1+ε)`-SSSP.
+    /// The dissemination shootout: every registered contender on this
+    /// instance (Theorem 1, `det-broadcast`, `sqrt-k-baseline`, …).
+    pub dissemination: Vec<DissCell>,
+    /// Rounds of the Theorem 13 `(1+ε)`-SSSP (single source — not part of
+    /// the k-source shootout, kept as the `Õ(1)` reference row).
     pub sssp_rounds: u64,
     /// Theorems 11/12 witness for a single source (trivially small — SSSP is
     /// `Õ(1)`, so the ratio column tracks the polylog envelope itself).
@@ -201,12 +241,24 @@ pub struct SweepRow {
     pub sssp_ratio: f64,
     /// Number of k-SSP sources.
     pub kssp_k: usize,
-    /// Rounds of the Theorem 14 `Õ(√(k/γ))` k-SSP.
-    pub kssp_rounds: u64,
-    /// The `Ω̃(√(k/γ))` k-SSP lower bound, in rounds.
+    /// The `Ω̃(√(k/γ))` k-SSP lower bound, in rounds — shared by every entry
+    /// of `kssp`.
     pub kssp_lower_bound: u64,
-    /// `kssp_rounds / max(1, lower bound)`.
-    pub kssp_ratio: f64,
+    /// The shortest-paths shootout: every registered contender on this
+    /// instance (Theorem 14, `theorem14-proxy`, `schneider`, …).
+    pub kssp: Vec<KsspCell>,
+}
+
+impl SweepRow {
+    /// The dissemination cell of a named contender, if it ran in this row.
+    pub fn diss_cell(&self, algorithm: &str) -> Option<&DissCell> {
+        self.dissemination.iter().find(|c| c.algorithm == algorithm)
+    }
+
+    /// The shortest-paths cell of a named contender, if it ran in this row.
+    pub fn kssp_cell(&self, algorithm: &str) -> Option<&KsspCell> {
+        self.kssp.iter().find(|c| c.algorithm == algorithm)
+    }
 }
 
 /// Ratio of measured rounds to a lower-bound witness, with the witness
@@ -228,13 +280,29 @@ pub fn cell_seed(seed: u64, family_idx: usize, n: usize, salt: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Runs the full sweep grid: `families × config.sizes × config.points`.
+/// Runs the full sweep grid with every registered algorithm.
+///
+/// Convenience wrapper over [`sweep_rows_with`] with no `--algo` filter; the
+/// full registry can never be empty, so this cannot fail.
+pub fn sweep_rows(families: &[GraphFamily], config: &SweepConfig) -> Vec<SweepRow> {
+    sweep_rows_with(families, config, None).expect("full registry is never empty")
+}
+
+/// Runs the sweep grid restricted to the algorithms named in `filter`
+/// (`None` = everything registered).
 ///
 /// The `(family, n)` pairs fan out in parallel (each builds its graph and
-/// `NQ` oracle once and reuses them for every `(λ, γ)` point); row order is
+/// `NQ` oracle once and reuses them for every `(λ, γ)` point); within a cell
+/// the selected algorithms run sequentially on identical instances — same
+/// token placement, same sources, same per-cell seeds.  Row order is
 /// family-major, then size, then grid point — identical to the sequential
 /// sweep for every pool width.
-pub fn sweep_rows(families: &[GraphFamily], config: &SweepConfig) -> Vec<SweepRow> {
+pub fn sweep_rows_with(
+    families: &[GraphFamily],
+    config: &SweepConfig,
+    filter: Option<&[String]>,
+) -> Result<Vec<SweepRow>, RegistryError> {
+    let selection: ShootoutSelection = select_algorithms(filter)?;
     let cells: Vec<(usize, GraphFamily, usize)> = families
         .iter()
         .enumerate()
@@ -266,33 +334,59 @@ pub fn sweep_rows(families: &[GraphFamily], config: &SweepConfig) -> Vec<SweepRo
                 .map(|point| {
                     let params = point.params(n);
 
-                    // Dissemination: k tokens on k distinct holders.
+                    // Dissemination shootout: k tokens on k distinct holders,
+                    // the same placement for every contender.
                     let mut rng =
                         ChaCha8Rng::seed_from_u64(cell_seed(config.seed, fi, n_target, 1));
                     let holders = sample_distinct(n, k as usize, &mut rng);
                     let tokens = place_tokens(&holders, k);
-                    let mut net = HybridNetwork::new(Arc::clone(&graph), params);
-                    let diss = k_dissemination(&mut net, &oracle, &tokens);
                     let diss_lb = dissemination_lower_bound(&oracle, &params, k, 0.99);
+                    let dissemination: Vec<DissCell> = selection
+                        .dissemination
+                        .iter()
+                        .map(|algo| {
+                            let mut net = HybridNetwork::new(Arc::clone(&graph), params);
+                            let out = algo.run(&mut net, &oracle, &tokens);
+                            DissCell {
+                                algorithm: algo.name(),
+                                reference: algo.reference(),
+                                deterministic: algo.deterministic(),
+                                rounds: out.rounds,
+                                ratio: ratio(out.rounds, diss_lb.rounds),
+                                nq_ratio: ratio(out.rounds, nq_k.max(1) as f64),
+                            }
+                        })
+                        .collect();
 
-                    // SSSP from node 0 on the weighted instance.
+                    // SSSP from node 0 on the weighted instance (Theorem 13
+                    // reference row, outside the shootout).
                     let mut net = HybridNetwork::new(Arc::clone(&weighted), params);
                     let sssp = sssp_approx(&mut net, 0, 0.25);
                     let sssp_lb = shortest_paths_lower_bound(&oracle, &params, 1, 0.99);
 
-                    // k-SSP with √n random sources on the weighted instance.
+                    // k-SSP shootout: √n sources on the weighted instance,
+                    // the same source set and seed for every contender.
                     let mut rng =
                         ChaCha8Rng::seed_from_u64(cell_seed(config.seed, fi, n_target, 2));
                     let sources = sample_distinct(n, kssp_k, &mut rng);
-                    let mut net = HybridNetwork::new(Arc::clone(&weighted), params);
-                    let ks = kssp(
-                        &mut net,
-                        &sources,
-                        1.0,
-                        KsspVariant::RandomSources,
-                        &mut rng,
-                    );
+                    let algo_seed = cell_seed(config.seed, fi, n_target, 3);
                     let ks_lb = kssp_lower_bound_rounds(kssp_k, params.global_capacity_msgs);
+                    let kssp: Vec<KsspCell> = selection
+                        .sssp
+                        .iter()
+                        .map(|algo| {
+                            let mut net = HybridNetwork::new(Arc::clone(&weighted), params);
+                            let out = algo.run(&mut net, &sources, 1.0, algo_seed);
+                            KsspCell {
+                                algorithm: algo.name(),
+                                reference: algo.reference(),
+                                stretch: out.stretch,
+                                rounds: out.rounds,
+                                ratio: ratio(out.rounds, ks_lb as f64),
+                                skeleton_size: out.skeleton_size,
+                            }
+                        })
+                        .collect();
 
                     SweepRow {
                         family: family.name(),
@@ -302,23 +396,125 @@ pub fn sweep_rows(families: &[GraphFamily], config: &SweepConfig) -> Vec<SweepRo
                         gamma_msgs: params.global_capacity_msgs,
                         k,
                         nq_k,
-                        dissemination_rounds: diss.rounds,
                         dissemination_lower_bound: diss_lb.rounds,
-                        dissemination_ratio: ratio(diss.rounds, diss_lb.rounds),
-                        dissemination_nq_ratio: ratio(diss.rounds, nq_k.max(1) as f64),
+                        dissemination,
                         sssp_rounds: sssp.rounds,
                         sssp_lower_bound: sssp_lb.rounds,
                         sssp_ratio: ratio(sssp.rounds, sssp_lb.rounds),
                         kssp_k,
-                        kssp_rounds: ks.rounds,
                         kssp_lower_bound: ks_lb,
-                        kssp_ratio: ratio(ks.rounds, ks_lb as f64),
+                        kssp,
                     }
                 })
                 .collect()
         })
         .collect();
-    per_cell.into_iter().flatten().collect()
+    Ok(per_cell.into_iter().flatten().collect())
+}
+
+/// Schema violations of a written `sweep_scaling.json` shootout artifact.
+///
+/// The strict regression gate re-reads the artifact it just wrote (and any
+/// baseline copy it is handed) and refuses to pass when the shootout columns
+/// are missing or corrupt — a malformed baseline must fail loudly, not
+/// silently gate nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepArtifactError {
+    /// Not a JSON array of rows.
+    NotAnArray,
+    /// The artifact parsed but contains no rows.
+    Empty,
+    /// A row is missing one of the shootout columns.
+    MissingColumn(&'static str),
+    /// Fewer algorithm entries than rows require (each row must carry at
+    /// least [`MIN_ALGORITHMS_PER_ROW`] contenders).
+    TooFewAlgorithms {
+        /// Number of rows found.
+        rows: usize,
+        /// Number of algorithm entries found.
+        algorithms: usize,
+    },
+    /// A ratio column is non-finite or null.
+    NonFiniteRatio,
+}
+
+impl std::fmt::Display for SweepArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepArtifactError::NotAnArray => write!(f, "artifact is not a JSON array of rows"),
+            SweepArtifactError::Empty => write!(f, "artifact contains no sweep rows"),
+            SweepArtifactError::MissingColumn(c) => {
+                write!(f, "sweep row is missing shootout column '{c}'")
+            }
+            SweepArtifactError::TooFewAlgorithms { rows, algorithms } => write!(
+                f,
+                "{rows} rows carry only {algorithms} algorithm entries \
+                 (expected at least {} per row)",
+                MIN_ALGORITHMS_PER_ROW
+            ),
+            SweepArtifactError::NonFiniteRatio => {
+                write!(f, "a competitive-ratio column is null or non-finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepArtifactError {}
+
+/// Minimum number of algorithm entries a well-formed shootout row carries
+/// (ours + the two rivals is the floor the acceptance gate checks).
+pub const MIN_ALGORITHMS_PER_ROW: usize = 3;
+
+/// Validates the shootout schema of a serialized `sweep_scaling.json`
+/// artifact: an array of rows, every row carrying the `dissemination` and
+/// `kssp` shootout columns with at least [`MIN_ALGORITHMS_PER_ROW`]
+/// algorithm entries between them, and no null/non-finite ratios.
+///
+/// The vendored `serde_json` stand-in only serializes, so — like the
+/// `BENCH_baseline.json` gate — this is a structural string scan, not a full
+/// parse; it is deliberately strict about the markers the gate relies on.
+pub fn validate_sweep_artifact(json: &str) -> Result<(), SweepArtifactError> {
+    let body = json.trim();
+    if !body.starts_with('[') || !body.ends_with(']') {
+        return Err(SweepArtifactError::NotAnArray);
+    }
+    let rows = body.matches("\"family\":").count();
+    if rows == 0 {
+        return Err(SweepArtifactError::Empty);
+    }
+    for column in [
+        "\"dissemination\":",
+        "\"kssp\":",
+        "\"dissemination_lower_bound\":",
+        "\"kssp_lower_bound\":",
+    ] {
+        let got = body.matches(column).count();
+        if got < rows {
+            // Strip the quotes+colon for the message.
+            return Err(SweepArtifactError::MissingColumn(
+                &column[1..column.len() - 2],
+            ));
+        }
+    }
+    let algorithms = body.matches("\"algorithm\":").count();
+    if algorithms < rows * MIN_ALGORITHMS_PER_ROW {
+        return Err(SweepArtifactError::TooFewAlgorithms { rows, algorithms });
+    }
+    let ratios = body.matches("\"ratio\":").count();
+    if ratios < algorithms {
+        return Err(SweepArtifactError::MissingColumn("ratio"));
+    }
+    // Every `"ratio":` value must start like a finite JSON number.  (The
+    // unbounded-λ rows legitimately carry `"lambda":"inf"`, so the scan is
+    // anchored to the ratio keys rather than the whole body.)
+    for (idx, _) in body.match_indices("\"ratio\":") {
+        let value = body[idx + "\"ratio\":".len()..].trim_start();
+        let mut digits = value.strip_prefix('-').unwrap_or(value).chars();
+        if !digits.next().is_some_and(|c| c.is_ascii_digit()) {
+            return Err(SweepArtifactError::NonFiniteRatio);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -348,6 +544,16 @@ mod tests {
                 );
             }
         }
+        // Every row carries the full shootout: 3 dissemination + 3 k-SSP
+        // contenders, measured against the row's shared witnesses.
+        for r in &rows {
+            assert_eq!(r.dissemination.len(), 3, "{} n={}", r.family, r.n);
+            assert_eq!(r.kssp.len(), 3, "{} n={}", r.family, r.n);
+            assert!(r.diss_cell("theorem1").is_some());
+            assert!(r.diss_cell("det-broadcast").is_some());
+            assert!(r.kssp_cell("theorem14").is_some());
+            assert!(r.kssp_cell("schneider").is_some());
+        }
     }
 
     #[test]
@@ -360,17 +566,78 @@ mod tests {
         let rows = sweep_rows(&[GraphFamily::Path, GraphFamily::Barbell], &config);
         assert_eq!(rows.len(), 8);
         for r in &rows {
-            assert!(
-                r.dissemination_rounds as f64 >= r.dissemination_lower_bound,
-                "{} n={} {}: dissemination below its lower bound",
-                r.family,
-                r.n,
-                r.point
-            );
-            assert!(r.kssp_rounds >= r.kssp_lower_bound);
-            assert!(r.dissemination_ratio >= 1.0 || r.dissemination_lower_bound < 1.0);
+            for c in &r.dissemination {
+                assert!(
+                    c.rounds as f64 >= r.dissemination_lower_bound,
+                    "{} n={} {} {}: dissemination below its lower bound",
+                    r.family,
+                    r.n,
+                    r.point,
+                    c.algorithm
+                );
+                assert!(c.ratio >= 1.0 || r.dissemination_lower_bound < 1.0);
+                assert!(c.ratio.is_finite() && c.nq_ratio.is_finite());
+            }
+            for c in &r.kssp {
+                assert!(
+                    c.rounds >= r.kssp_lower_bound,
+                    "{} n={} {} {}: k-SSP below its lower bound",
+                    r.family,
+                    r.n,
+                    r.point,
+                    c.algorithm
+                );
+                assert!(c.ratio.is_finite());
+            }
             assert!(r.sssp_ratio > 0.0);
         }
+    }
+
+    #[test]
+    fn schneider_pays_for_depth_on_the_path() {
+        // The skeleton-free rival's deepening bill is Θ(hop-diameter): on the
+        // path it must lose to Theorem 14 by a wide margin.
+        let config = SweepConfig {
+            sizes: vec![256],
+            points: vec![SweepPoint::HYBRID],
+            seed: 7,
+        };
+        let rows = sweep_rows(&[GraphFamily::Path], &config);
+        let ours = rows[0].kssp_cell("theorem14").unwrap();
+        let rival = rows[0].kssp_cell("schneider").unwrap();
+        assert!(
+            rival.rounds > 2 * ours.rounds,
+            "schneider {} vs theorem14 {}",
+            rival.rounds,
+            ours.rounds
+        );
+    }
+
+    #[test]
+    fn algo_filter_restricts_rows_and_rejects_unknown_names() {
+        let config = SweepConfig {
+            sizes: vec![64],
+            points: vec![SweepPoint::HYBRID],
+            seed: 2,
+        };
+        let filter = vec!["theorem1".to_string(), "schneider".to_string()];
+        let rows = sweep_rows_with(&[GraphFamily::Grid2D], &config, Some(&filter)).unwrap();
+        assert_eq!(rows[0].dissemination.len(), 1);
+        assert_eq!(rows[0].kssp.len(), 1);
+        assert_eq!(rows[0].dissemination[0].algorithm, "theorem1");
+        assert_eq!(rows[0].kssp[0].algorithm, "schneider");
+
+        let bad = vec!["fancy-new-algo".to_string()];
+        match sweep_rows_with(&[GraphFamily::Grid2D], &config, Some(&bad)) {
+            Err(RegistryError::UnknownAlgorithm { name, .. }) => {
+                assert_eq!(name, "fancy-new-algo")
+            }
+            other => panic!("expected UnknownAlgorithm, got {:?}", other.is_ok()),
+        }
+        assert!(matches!(
+            sweep_rows_with(&[GraphFamily::Grid2D], &config, Some(&[])),
+            Err(RegistryError::EmptyRegistry)
+        ));
     }
 
     #[test]
@@ -383,21 +650,29 @@ mod tests {
         let rows = sweep_rows(&[GraphFamily::ChungLu], &config);
         assert_eq!(rows.len(), 2);
         assert!(rows[0].gamma_msgs < rows[1].gamma_msgs);
-        assert!(rows[0].kssp_rounds >= rows[1].kssp_rounds);
+        let scarce = rows[0].kssp_cell("theorem14").unwrap();
+        let rich = rows[1].kssp_cell("theorem14").unwrap();
+        assert!(scarce.rounds >= rich.rounds);
     }
 
     #[test]
     fn congest_local_matches_hybrid_rounds() {
         // λ enters neither the hop-charged local phases nor the Lemma 7.1
-        // witness, so the congest-local point must reproduce HYBRID rounds.
+        // witness, so the congest-local point must reproduce HYBRID rounds
+        // for every contender.
         let config = SweepConfig {
             sizes: vec![64],
             points: vec![SweepPoint::HYBRID, SweepPoint::CONGEST_LOCAL],
             seed: 3,
         };
         let rows = sweep_rows(&[GraphFamily::Grid2D], &config);
-        assert_eq!(rows[0].dissemination_rounds, rows[1].dissemination_rounds);
-        assert_eq!(rows[0].kssp_rounds, rows[1].kssp_rounds);
+        for (a, b) in rows[0].dissemination.iter().zip(&rows[1].dissemination) {
+            assert_eq!(a.algorithm, b.algorithm);
+            assert_eq!(a.rounds, b.rounds, "{}", a.algorithm);
+        }
+        for (a, b) in rows[0].kssp.iter().zip(&rows[1].kssp) {
+            assert_eq!(a.rounds, b.rounds, "{}", a.algorithm);
+        }
         assert_ne!(rows[0].lambda, rows[1].lambda);
     }
 
@@ -405,5 +680,41 @@ mod tests {
     fn gamma_scaling_is_clamped() {
         assert_eq!(SweepPoint::SCARCE_GLOBAL.gamma_msgs(4), 1);
         assert!(SweepPoint::RICH_GLOBAL.gamma_msgs(1024) > SweepPoint::HYBRID.gamma_msgs(1024));
+    }
+
+    #[test]
+    fn artifact_validator_accepts_real_rows_and_rejects_corruption() {
+        let config = SweepConfig {
+            sizes: vec![64],
+            points: vec![SweepPoint::HYBRID],
+            seed: 1,
+        };
+        let rows = sweep_rows(&[GraphFamily::Cycle], &config);
+        let json = serde_json::to_string_pretty(&rows).unwrap();
+        validate_sweep_artifact(&json).unwrap();
+
+        assert_eq!(
+            validate_sweep_artifact("{}"),
+            Err(SweepArtifactError::NotAnArray)
+        );
+        assert_eq!(
+            validate_sweep_artifact("[]"),
+            Err(SweepArtifactError::Empty)
+        );
+        let no_shootout = json.replace("\"dissemination\":", "\"legacy\":");
+        assert_eq!(
+            validate_sweep_artifact(&no_shootout),
+            Err(SweepArtifactError::MissingColumn("dissemination"))
+        );
+        let truncated = json.replacen("\"algorithm\":", "\"alg\":", 4);
+        assert!(matches!(
+            validate_sweep_artifact(&truncated),
+            Err(SweepArtifactError::TooFewAlgorithms { .. })
+        ));
+        let nulled = json.replacen("\"ratio\":", "\"ratio\":null,\"x\":", 1);
+        assert_eq!(
+            validate_sweep_artifact(&nulled),
+            Err(SweepArtifactError::NonFiniteRatio)
+        );
     }
 }

@@ -1,0 +1,433 @@
+//! Pluggable algorithm traits and the shootout registry.
+//!
+//! The sweep (and any future serving front-end) should not care *which*
+//! dissemination or shortest-paths pipeline it is driving: every contender
+//! implements [`DisseminationAlgorithm`] or [`SsspAlgorithm`] and registers
+//! itself in [`dissemination_registry`] / [`sssp_registry`].  The bench crate
+//! runs every registered implementation on the *same instance* against the
+//! *same lower-bound witness* and emits the measured rounds side by side
+//! (`results/sweep_scaling.json`); the differential conformance suite
+//! (`crates/core/tests/conformance.rs`) cross-checks every implementation
+//! pair on delivered token sets and distance-label stretch.
+//!
+//! | name              | paper                           | guarantee                      |
+//! |-------------------|---------------------------------|--------------------------------|
+//! | `theorem1`        | PODC'24 Theorem 1               | `Õ(NQ_k)` rounds, randomized   |
+//! | `det-broadcast`   | `[CHL23]` arXiv:2304.06317      | deterministic token forwarding |
+//! | `sqrt-k-baseline` | `[AHK+20]`                      | `Õ(√k)` existential baseline   |
+//! | `theorem14`       | PODC'24 Theorem 14 (random)     | stretch `1+ε`, `Õ(√k/ε²)`      |
+//! | `theorem14-proxy` | PODC'24 Theorem 14 (arbitrary)  | stretch `3(1+ε)`, `Õ(√(k/γ))`  |
+//! | `schneider`       | `[Sch23]` arXiv:2306.05977      | stretch `1+ε`, `Θ(hop-diam)`   |
+
+use std::fmt;
+
+use hybrid_graph::NodeId;
+use hybrid_sim::HybridNetwork;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::det_broadcast::det_token_forward_dissemination;
+use crate::dissemination::{
+    baseline_sqrt_k_dissemination, k_dissemination, DisseminationOutput, TokenPlacement,
+};
+use crate::kssp::{kssp, KsspOutput, KsspVariant};
+use crate::nq::NqOracle;
+use crate::schneider::schneider_kssp;
+
+/// A `k`-dissemination contender: delivers every placed token to every node
+/// and reports its round bill through the shared cost meter.
+pub trait DisseminationAlgorithm: Send + Sync {
+    /// Stable registry name (also the JSON column key and the `--algo` value).
+    fn name(&self) -> &'static str;
+    /// The paper the implementation reproduces.
+    fn reference(&self) -> &'static str;
+    /// Whether the schedule draws random bits.
+    fn deterministic(&self) -> bool;
+    /// Runs the pipeline on `net`, delivering `tokens` to every node.
+    fn run(
+        &self,
+        net: &mut HybridNetwork,
+        oracle: &NqOracle,
+        tokens: &[TokenPlacement],
+    ) -> DisseminationOutput;
+}
+
+/// A `k`-source shortest-paths contender: produces distance labels within its
+/// stated stretch for every (source, node) pair.
+pub trait SsspAlgorithm: Send + Sync {
+    /// Stable registry name (also the JSON column key and the `--algo` value).
+    fn name(&self) -> &'static str;
+    /// The paper the implementation reproduces.
+    fn reference(&self) -> &'static str;
+    /// Worst-case stretch contract for accuracy `epsilon` (a particular run
+    /// may report a tighter [`KsspOutput::stretch`]).
+    fn stated_stretch(&self, epsilon: f64) -> f64;
+    /// Runs the pipeline on `net` from `sources`; `seed` derives any random
+    /// bits the implementation draws (deterministic impls ignore it).
+    fn run(
+        &self,
+        net: &mut HybridNetwork,
+        sources: &[NodeId],
+        epsilon: f64,
+        seed: u64,
+    ) -> KsspOutput;
+}
+
+/// Theorem 1 — the paper's universally optimal `Õ(NQ_k)` dissemination.
+pub struct Theorem1Dissemination;
+
+impl DisseminationAlgorithm for Theorem1Dissemination {
+    fn name(&self) -> &'static str {
+        "theorem1"
+    }
+    fn reference(&self) -> &'static str {
+        "PODC'24 Theorem 1"
+    }
+    fn deterministic(&self) -> bool {
+        false
+    }
+    fn run(
+        &self,
+        net: &mut HybridNetwork,
+        oracle: &NqOracle,
+        tokens: &[TokenPlacement],
+    ) -> DisseminationOutput {
+        k_dissemination(net, oracle, tokens)
+    }
+}
+
+/// `[CHL23]` — deterministic token-forwarding broadcasting (arXiv:2304.06317).
+pub struct DetBroadcast;
+
+impl DisseminationAlgorithm for DetBroadcast {
+    fn name(&self) -> &'static str {
+        "det-broadcast"
+    }
+    fn reference(&self) -> &'static str {
+        "[CHL23] arXiv:2304.06317"
+    }
+    fn deterministic(&self) -> bool {
+        true
+    }
+    fn run(
+        &self,
+        net: &mut HybridNetwork,
+        oracle: &NqOracle,
+        tokens: &[TokenPlacement],
+    ) -> DisseminationOutput {
+        det_token_forward_dissemination(net, oracle, tokens)
+    }
+}
+
+/// `[AHK+20]` — the existentially optimal `Õ(√k)` baseline.
+pub struct SqrtKBaseline;
+
+impl DisseminationAlgorithm for SqrtKBaseline {
+    fn name(&self) -> &'static str {
+        "sqrt-k-baseline"
+    }
+    fn reference(&self) -> &'static str {
+        "[AHK+20]"
+    }
+    fn deterministic(&self) -> bool {
+        false
+    }
+    fn run(
+        &self,
+        net: &mut HybridNetwork,
+        oracle: &NqOracle,
+        tokens: &[TokenPlacement],
+    ) -> DisseminationOutput {
+        baseline_sqrt_k_dissemination(net, oracle, tokens)
+    }
+}
+
+/// Theorem 14 (random-sources regime) — stretch `1+ε` via the sampled
+/// skeleton with the sources forced into it.
+pub struct Theorem14Kssp;
+
+impl SsspAlgorithm for Theorem14Kssp {
+    fn name(&self) -> &'static str {
+        "theorem14"
+    }
+    fn reference(&self) -> &'static str {
+        "PODC'24 Theorem 14"
+    }
+    fn stated_stretch(&self, epsilon: f64) -> f64 {
+        1.0 + epsilon
+    }
+    fn run(
+        &self,
+        net: &mut HybridNetwork,
+        sources: &[NodeId],
+        epsilon: f64,
+        seed: u64,
+    ) -> KsspOutput {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        kssp(net, sources, epsilon, KsspVariant::RandomSources, &mut rng)
+    }
+}
+
+/// Theorem 14 (arbitrary-sources regime) — stretch `3(1+ε)` through proxy
+/// sources on the skeleton.
+pub struct Theorem14ProxyKssp;
+
+impl SsspAlgorithm for Theorem14ProxyKssp {
+    fn name(&self) -> &'static str {
+        "theorem14-proxy"
+    }
+    fn reference(&self) -> &'static str {
+        "PODC'24 Theorem 14 (arbitrary sources)"
+    }
+    fn stated_stretch(&self, epsilon: f64) -> f64 {
+        3.0 * (1.0 + epsilon)
+    }
+    fn run(
+        &self,
+        net: &mut HybridNetwork,
+        sources: &[NodeId],
+        epsilon: f64,
+        seed: u64,
+    ) -> KsspOutput {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        kssp(
+            net,
+            sources,
+            epsilon,
+            KsspVariant::ArbitrarySources,
+            &mut rng,
+        )
+    }
+}
+
+/// `[Sch23]` — skeleton-free `h`-hop + global shortcut composition
+/// (arXiv:2306.05977).
+pub struct SchneiderSssp;
+
+impl SsspAlgorithm for SchneiderSssp {
+    fn name(&self) -> &'static str {
+        "schneider"
+    }
+    fn reference(&self) -> &'static str {
+        "[Sch23] arXiv:2306.05977"
+    }
+    fn stated_stretch(&self, epsilon: f64) -> f64 {
+        1.0 + epsilon
+    }
+    fn run(
+        &self,
+        net: &mut HybridNetwork,
+        sources: &[NodeId],
+        epsilon: f64,
+        _seed: u64,
+    ) -> KsspOutput {
+        schneider_kssp(net, sources, epsilon)
+    }
+}
+
+/// Every registered dissemination contender, shootout order.
+pub fn dissemination_registry() -> Vec<Box<dyn DisseminationAlgorithm>> {
+    vec![
+        Box::new(Theorem1Dissemination),
+        Box::new(DetBroadcast),
+        Box::new(SqrtKBaseline),
+    ]
+}
+
+/// Every registered shortest-paths contender, shootout order.
+pub fn sssp_registry() -> Vec<Box<dyn SsspAlgorithm>> {
+    vec![
+        Box::new(Theorem14Kssp),
+        Box::new(Theorem14ProxyKssp),
+        Box::new(SchneiderSssp),
+    ]
+}
+
+/// All registry names, dissemination first (usage text, error messages).
+pub fn registry_names() -> Vec<&'static str> {
+    dissemination_registry()
+        .iter()
+        .map(|a| a.name())
+        .chain(sssp_registry().iter().map(|a| a.name()))
+        .collect()
+}
+
+/// Which problem a registry entry solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// `k`-dissemination contenders.
+    Dissemination,
+    /// `k`-source shortest-paths contenders.
+    ShortestPaths,
+}
+
+/// Typed errors from registry selection — the CLI maps these to exit 2 +
+/// usage instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A `--algo` value matched no registered implementation.
+    UnknownAlgorithm {
+        /// The unmatched name.
+        name: String,
+        /// Every valid name, for the error message.
+        known: Vec<&'static str>,
+    },
+    /// The selection left no implementation in either registry.
+    EmptyRegistry,
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownAlgorithm { name, known } => write!(
+                f,
+                "unknown algorithm '{name}' (registered: {})",
+                known.join(", ")
+            ),
+            RegistryError::EmptyRegistry => {
+                write!(f, "algorithm selection is empty: no contender to run")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The contenders a shootout run will actually execute.
+pub struct ShootoutSelection {
+    /// Selected dissemination contenders (shootout order).
+    pub dissemination: Vec<Box<dyn DisseminationAlgorithm>>,
+    /// Selected shortest-paths contenders (shootout order).
+    pub sssp: Vec<Box<dyn SsspAlgorithm>>,
+}
+
+/// Resolves an optional `--algo` filter against both registries.
+///
+/// `None` selects everything.  Each filter name must match a registered
+/// implementation ([`RegistryError::UnknownAlgorithm`] otherwise), and the
+/// overall selection must be non-empty ([`RegistryError::EmptyRegistry`]).
+pub fn select_algorithms(filter: Option<&[String]>) -> Result<ShootoutSelection, RegistryError> {
+    let mut dissemination = dissemination_registry();
+    let mut sssp = sssp_registry();
+    if let Some(names) = filter {
+        for name in names {
+            if !registry_names().contains(&name.as_str()) {
+                return Err(RegistryError::UnknownAlgorithm {
+                    name: name.clone(),
+                    known: registry_names(),
+                });
+            }
+        }
+        dissemination.retain(|a| names.iter().any(|n| n == a.name()));
+        sssp.retain(|a| names.iter().any(|n| n == a.name()));
+    }
+    if dissemination.is_empty() && sssp.is_empty() {
+        return Err(RegistryError::EmptyRegistry);
+    }
+    Ok(ShootoutSelection {
+        dissemination,
+        sssp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dissemination::place_tokens;
+    use hybrid_graph::generators;
+    use std::sync::Arc;
+
+    #[test]
+    fn registry_names_are_unique_and_stable() {
+        let names = registry_names();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate registry name");
+        assert_eq!(
+            names,
+            vec![
+                "theorem1",
+                "det-broadcast",
+                "sqrt-k-baseline",
+                "theorem14",
+                "theorem14-proxy",
+                "schneider"
+            ]
+        );
+    }
+
+    #[test]
+    fn select_none_returns_full_registries() {
+        let sel = select_algorithms(None).unwrap();
+        assert_eq!(sel.dissemination.len(), 3);
+        assert_eq!(sel.sssp.len(), 3);
+    }
+
+    #[test]
+    fn select_unknown_name_is_typed_error() {
+        let filter = vec!["theorem1".to_string(), "nope".to_string()];
+        match select_algorithms(Some(&filter)) {
+            Err(RegistryError::UnknownAlgorithm { name, known }) => {
+                assert_eq!(name, "nope");
+                assert!(known.contains(&"schneider"));
+            }
+            other => panic!(
+                "expected UnknownAlgorithm, got {other:?}",
+                other = other.err()
+            ),
+        }
+    }
+
+    #[test]
+    fn select_empty_filter_is_typed_error() {
+        let filter: Vec<String> = Vec::new();
+        assert_eq!(
+            select_algorithms(Some(&filter)).err(),
+            Some(RegistryError::EmptyRegistry)
+        );
+    }
+
+    #[test]
+    fn select_partial_filter_keeps_one_side() {
+        let filter = vec!["schneider".to_string()];
+        let sel = select_algorithms(Some(&filter)).unwrap();
+        assert!(sel.dissemination.is_empty());
+        assert_eq!(sel.sssp.len(), 1);
+        assert_eq!(sel.sssp[0].name(), "schneider");
+    }
+
+    #[test]
+    fn every_dissemination_impl_delivers_the_same_tokens() {
+        let g = generators::grid(&[8, 8]).unwrap();
+        let tokens = place_tokens(&(0..64).collect::<Vec<_>>(), 24);
+        let mut seen: Option<Vec<u64>> = None;
+        for algo in dissemination_registry() {
+            let arc = Arc::new(g.clone());
+            let oracle = NqOracle::new(&arc);
+            let mut net = HybridNetwork::hybrid0(arc);
+            let out = algo.run(&mut net, &oracle, &tokens);
+            assert!(out.rounds > 0, "{} charged no rounds", algo.name());
+            match &seen {
+                None => seen = Some(out.tokens),
+                Some(prev) => assert_eq!(prev, &out.tokens, "{} diverged", algo.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn every_sssp_impl_meets_its_stated_stretch() {
+        let g = Arc::new(generators::grid(&[7, 7]).unwrap());
+        let sources = vec![0, 24, 48];
+        for algo in sssp_registry() {
+            let mut net = HybridNetwork::hybrid(Arc::clone(&g));
+            let out = algo.run(&mut net, &sources, 0.5, 11);
+            assert!(
+                out.stretch <= algo.stated_stretch(0.5) + 1e-9,
+                "{} reported stretch above its contract",
+                algo.name()
+            );
+            out.verify_stretch(&g).unwrap();
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Deterministic token-forwarding broadcasting — the rival algorithm of the
+//! deterministic universally-optimal broadcasting companion paper
+//! (`[CHL23]`, arXiv:2304.06317), reproduced as a competing
+//! [`crate::algorithm::DisseminationAlgorithm`] implementation.
+//!
+//! # Schedule
+//!
+//! The companion paper removes the randomized hashing / rank-matching tricks
+//! of Theorem 1 and replaces them with a *deterministic token-forwarding
+//! schedule*: tokens travel along a fixed overlay, each hop forwarding a
+//! batch under the same `γ` budget, with no per-round random load balancing.
+//! This module implements that schedule in its leader-funnelled form:
+//!
+//! 1. **Clustering** — the same deterministic `NQ_k`-radius clustering as
+//!    Theorem 1 (Lemma 3.5; the greedy ruling set is deterministic, so this
+//!    phase is shared verbatim);
+//! 2. **Leader overlay** — the logarithmic-depth virtual tree over the
+//!    cluster leaders (Lemma 4.6), plus one deterministic `hello` exchange
+//!    between adjacent leaders instead of the randomized member
+//!    rank-matching;
+//! 3. **Gather** — every cluster funnels its tokens to its leader over the
+//!    local network (`2·`weak-diameter rounds, mirroring the Lemma 4.1
+//!    charge of the randomized pipeline);
+//! 4. **Token forwarding** — leaders converge-cast their token sets up the
+//!    tree and broadcast the union back down, *leader to leader*: a set of
+//!    `T` tokens costs `⌈T/γ⌉` global rounds per hop because a single sender
+//!    carries it, where Theorem 1 spreads the same payload over all cluster
+//!    members.  Each forwarding hop also pays the `2·`weak-diameter
+//!    *chain-traversal* bill (tokens cross the cluster locally to reach the
+//!    forwarding leader) — the same per-level local charge as Theorem 1's
+//!    re-balancing, so the two pipelines differ exactly in their global
+//!    schedules.  This is exactly the price of determinism the shootout
+//!    measures: on token-heavy clusters the funnel pays `Θ(T/γ)` where the
+//!    randomized schedule pays `Θ(T/(γ·|C|))`, and when every per-level set
+//!    fits into one `γ` budget the two schedules tie round for round
+//!    (pinned by `crates/core/tests/rivals.rs`);
+//! 5. **Flood** — each cluster floods the full set locally (weak-diameter
+//!    rounds), as in Theorem 1.
+//!
+//! The delivered token set is identical to Theorem 1's — both compute the
+//! union of all placed tokens — which is what the differential conformance
+//! suite (`crates/core/tests/conformance.rs`) asserts for every registered
+//! implementation pair.  No random bits are drawn anywhere in the pipeline.
+
+use hybrid_sim::{GlobalMessage, HybridNetwork};
+
+use crate::cluster::cluster_with_radius;
+use crate::dissemination::{DisseminationOutput, RadiusPolicy, TokenPlacement};
+use crate::nq::{compute_nq, NqOracle};
+use crate::overlay::{basic_aggregation, VirtualTree};
+
+/// Deterministic token-forwarding `k`-dissemination (`[CHL23]`): same
+/// clustering and leader overlay as Theorem 1, but tokens are forwarded
+/// leader-to-leader under a fixed deterministic schedule instead of being
+/// load-balanced over cluster members with randomized rank matching.
+pub fn det_token_forward_dissemination(
+    net: &mut HybridNetwork,
+    oracle: &NqOracle,
+    tokens: &[TokenPlacement],
+) -> DisseminationOutput {
+    let n = net.graph().n();
+    let k = tokens.len() as u64;
+
+    // The NQ_k measurement happens before the reported-round window opens,
+    // matching `k_dissemination` (whose `disseminate_with_radius` window also
+    // excludes `compute_nq`) — the shootout compares like with like.
+    let nq = compute_nq(net, oracle, k.max(1)).nq.max(1);
+    let before = net.rounds();
+
+    // Phase 0: count k with the basic aggregation primitive (Lemma 4.4) —
+    // identical to the randomized pipeline.
+    let counts: Vec<u64> = {
+        let mut c = vec![0u64; n];
+        for &(holder, _) in tokens {
+            c[holder as usize] += 1;
+        }
+        c
+    };
+    let counted = basic_aggregation(net, &counts, |a, b| a + b);
+    debug_assert_eq!(counted.value, k);
+    if k == 0 {
+        return DisseminationOutput {
+            k,
+            nq: oracle.nq(1),
+            radius: nq,
+            policy: RadiusPolicy::NeighborhoodQuality,
+            rounds: net.rounds() - before,
+            meter: net.meter().clone(),
+            tokens: Vec::new(),
+            max_tokens_per_node: 0,
+        };
+    }
+
+    // Phase 1: the deterministic Lemma 3.5 clustering (shared with Theorem 1).
+    let clustering = cluster_with_radius(net, nq, k);
+    let leaders: Vec<_> = clustering.clusters.iter().map(|c| c.leader).collect();
+    let tree = VirtualTree::build(net, &leaders);
+    let pos_to_cluster: Vec<usize> = tree
+        .participants
+        .iter()
+        .map(|leader| {
+            clustering
+                .clusters
+                .iter()
+                .position(|c| c.leader == *leader)
+                .expect("leader has a cluster")
+        })
+        .collect();
+
+    // Phase 2: deterministic leader hello — one message per tree edge per
+    // direction (the deterministic substitute for randomized rank matching).
+    let mut hellos: Vec<GlobalMessage> = Vec::new();
+    for pos in 1..tree.len() {
+        let parent_pos = tree.parent[pos].expect("non-root");
+        let child = tree.participants[pos];
+        let parent = tree.participants[parent_pos];
+        hellos.push(GlobalMessage::new(child, parent));
+        hellos.push(GlobalMessage::new(parent, child));
+    }
+    if !hellos.is_empty() {
+        crate::deliver_global_checked(net, "det-broadcast/leader-hello", &hellos);
+    }
+
+    // Phase 3: gather — members hand their tokens to the cluster leader over
+    // the local network (same 2·weak-diameter charge as the Lemma 4.1 load
+    // balancing it replaces).
+    let mut values: Vec<u64> = tokens.iter().map(|&(_, v)| v).collect();
+    values.sort_unstable();
+    values.dedup();
+    let words = values.len().div_ceil(64);
+    let popcnt = |set: &[u64]| -> u64 { set.iter().map(|w| u64::from(w.count_ones())).sum() };
+    let mut known: Vec<Vec<u64>> = vec![vec![0u64; words]; clustering.len()];
+    for &(holder, value) in tokens {
+        let idx = values
+            .binary_search(&value)
+            .expect("value is in the universe");
+        known[clustering.cluster_of[holder as usize]][idx / 64] |= 1u64 << (idx % 64);
+    }
+    net.charge_local(
+        "det-broadcast/gather-to-leader",
+        2 * clustering.weak_diameter_bound.max(1),
+    );
+
+    // Phase 4a: token forwarding up the leader tree, level by level.  The
+    // child's *leader* carries its cluster's whole accumulated set — the
+    // scheduler turns a T-token payload from one sender into ⌈T/γ⌉ rounds.
+    let levels = tree.levels();
+    let mut max_tokens_per_node = 0u64;
+    let mut batch: Vec<GlobalMessage> = Vec::new();
+    for level in levels.iter().rev() {
+        batch.clear();
+        let mut merges: Vec<(usize, usize)> = Vec::new();
+        for &pos in level {
+            let Some(parent_pos) = tree.parent[pos] else {
+                continue;
+            };
+            let child_idx = pos_to_cluster[pos];
+            let parent_idx = pos_to_cluster[parent_pos];
+            let from = tree.participants[pos];
+            let to = tree.participants[parent_pos];
+            let payload = popcnt(&known[child_idx]);
+            max_tokens_per_node = max_tokens_per_node.max(payload);
+            for _ in 0..payload {
+                batch.push(GlobalMessage::new(from, to));
+            }
+            merges.push((parent_idx, child_idx));
+        }
+        if !batch.is_empty() {
+            // Tokens cross the cluster locally to reach the forwarding leader
+            // (the chain-traversal step of the deterministic schedule) — the
+            // same 2·weak-diameter bill Theorem 1 pays to re-balance.
+            net.charge_local(
+                "det-broadcast/chain-traversal",
+                2 * clustering.weak_diameter_bound.max(1),
+            );
+            crate::deliver_global_checked(net, "det-broadcast/forward-up", &batch);
+        }
+        for (parent_idx, child_idx) in merges {
+            let (dst, src) = if parent_idx < child_idx {
+                let (a, b) = known.split_at_mut(child_idx);
+                (&mut a[parent_idx], &b[0])
+            } else {
+                let (a, b) = known.split_at_mut(parent_idx);
+                (&mut b[0], &a[child_idx])
+            };
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d |= s;
+            }
+        }
+    }
+    let root_cluster = pos_to_cluster[tree.root()];
+    debug_assert_eq!(
+        popcnt(&known[root_cluster]),
+        values.len() as u64,
+        "root leader must have gathered every distinct token"
+    );
+
+    // Phase 4b: forward the full set back down, leader to leader.
+    let full: Vec<u64> = known[root_cluster].clone();
+    let total = values.len() as u64;
+    max_tokens_per_node = max_tokens_per_node.max(total);
+    for level in levels.iter() {
+        batch.clear();
+        for &pos in level {
+            let Some(parent_pos) = tree.parent[pos] else {
+                continue;
+            };
+            let from = tree.participants[parent_pos];
+            let to = tree.participants[pos];
+            for _ in 0..total {
+                batch.push(GlobalMessage::new(from, to));
+            }
+            known[pos_to_cluster[pos]].copy_from_slice(&full);
+        }
+        if !batch.is_empty() {
+            net.charge_local(
+                "det-broadcast/chain-traversal",
+                2 * clustering.weak_diameter_bound.max(1),
+            );
+            crate::deliver_global_checked(net, "det-broadcast/forward-down", &batch);
+        }
+    }
+
+    // Phase 5: every cluster floods its (now complete) set locally.
+    net.charge_local(
+        "det-broadcast/intra-cluster-flood",
+        clustering.weak_diameter_bound.max(1),
+    );
+    debug_assert!(known.iter().all(|s| popcnt(s) == values.len() as u64));
+
+    DisseminationOutput {
+        k,
+        nq: oracle.nq(k),
+        radius: nq,
+        policy: RadiusPolicy::NeighborhoodQuality,
+        rounds: net.rounds() - before,
+        meter: net.meter().clone(),
+        tokens: values,
+        max_tokens_per_node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dissemination::{k_dissemination, place_tokens};
+    use hybrid_graph::generators;
+    use std::sync::Arc;
+
+    fn setup(graph: hybrid_graph::Graph) -> (Arc<hybrid_graph::Graph>, NqOracle, HybridNetwork) {
+        let g = Arc::new(graph);
+        let oracle = NqOracle::new(&g);
+        let net = HybridNetwork::hybrid0(Arc::clone(&g));
+        (g, oracle, net)
+    }
+
+    #[test]
+    fn delivers_every_token() {
+        let (_, oracle, mut net) = setup(generators::grid(&[10, 10]).unwrap());
+        let tokens = place_tokens(&(0..100).collect::<Vec<_>>(), 40);
+        let out = det_token_forward_dissemination(&mut net, &oracle, &tokens);
+        assert_eq!(out.k, 40);
+        assert_eq!(out.tokens, (0..40).collect::<Vec<u64>>());
+        assert!(out.rounds > 0);
+    }
+
+    #[test]
+    fn matches_theorem1_token_sets() {
+        let g = generators::grid(&[12, 12]).unwrap();
+        let tokens = place_tokens(&(0..144).collect::<Vec<_>>(), 100);
+        let (_, oracle, mut net_d) = setup(g.clone());
+        let det = det_token_forward_dissemination(&mut net_d, &oracle, &tokens);
+        let (_, oracle_u, mut net_u) = setup(g);
+        let uni = k_dissemination(&mut net_u, &oracle_u, &tokens);
+        assert_eq!(det.tokens, uni.tokens);
+        assert_eq!(det.nq, uni.nq);
+    }
+
+    #[test]
+    fn zero_tokens_is_cheap() {
+        let (_, oracle, mut net) = setup(generators::cycle(24).unwrap());
+        let out = det_token_forward_dissemination(&mut net, &oracle, &[]);
+        assert_eq!(out.k, 0);
+        assert!(out.tokens.is_empty());
+        let log_n = 5u64;
+        assert!(out.rounds <= 4 * log_n * log_n);
+    }
+
+    #[test]
+    fn concentrated_tokens_are_funnelled() {
+        let (_, oracle, mut net) = setup(generators::grid(&[8, 8]).unwrap());
+        let tokens = place_tokens(&[0], 32);
+        let out = det_token_forward_dissemination(&mut net, &oracle, &tokens);
+        assert_eq!(out.tokens.len(), 32);
+        // The funnel signature: some leader carried the full set.
+        assert_eq!(out.max_tokens_per_node, 32);
+    }
+
+    #[test]
+    fn leader_funnel_never_beats_theorem1_on_heavy_loads() {
+        // The deterministic schedule pays ⌈T/γ⌉ per hop on a T-token set;
+        // Theorem 1 spreads the same payload over all cluster members.
+        let g = generators::grid(&[16, 16]).unwrap();
+        let tokens = place_tokens(&(0..256).collect::<Vec<_>>(), 256);
+        let (_, oracle, mut net_d) = setup(g.clone());
+        let det = det_token_forward_dissemination(&mut net_d, &oracle, &tokens);
+        let (_, oracle_u, mut net_u) = setup(g);
+        let uni = k_dissemination(&mut net_u, &oracle_u, &tokens);
+        assert!(
+            det.rounds >= uni.rounds,
+            "deterministic funnel ({}) beat Theorem 1 ({})",
+            det.rounds,
+            uni.rounds
+        );
+    }
+}

@@ -37,10 +37,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod algorithm;
 pub mod apsp;
 pub mod bcc;
 pub mod cluster;
 pub mod cuts;
+pub mod det_broadcast;
 pub mod dissemination;
 pub mod hashing;
 pub mod helpers;
@@ -54,6 +56,7 @@ pub mod overlay;
 pub mod prob;
 pub mod routing;
 pub mod rows;
+pub mod schneider;
 pub mod skeleton;
 pub mod spanner;
 pub mod sssp;
@@ -77,10 +80,16 @@ pub(crate) fn deliver_global_checked(
     report
 }
 
+pub use algorithm::{
+    dissemination_registry, registry_names, select_algorithms, sssp_registry,
+    DisseminationAlgorithm, RegistryError, ShootoutSelection, SsspAlgorithm,
+};
 pub use cluster::{cluster_by_nq, cluster_with_radius};
+pub use det_broadcast::det_token_forward_dissemination;
 pub use dissemination::{
     baseline_sqrt_k_dissemination, k_aggregation, k_dissemination, DisseminationOutput,
 };
 pub use nq::{compute_nq, NqEstimate, NqOracle, NqSource, SampledNqOracle};
 pub use routing::{baseline_sqrt_k_routing, kl_routing, RoutingOutput, RoutingScenario};
 pub use rows::DistanceRows;
+pub use schneider::schneider_kssp;

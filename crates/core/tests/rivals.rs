@@ -1,0 +1,145 @@
+//! Adversarial regression tests for the rival baselines: hand-built
+//! instances pinning *why* the paper's pipelines win the shootout — one
+//! instance per rival where the rival provably pays more rounds than the
+//! Theorem 1 / Theorem 14 pipelines, plus an instance where the contenders
+//! tie exactly.
+//!
+//! These are regression tests in the strict sense: if a refactor of either
+//! side changes the cost structure (e.g. stops charging the leader funnel
+//! `⌈T/γ⌉` per tree hop, or lets the deepening loop skip the path's
+//! hop-diameter bill), the corresponding assertion here names the mechanism
+//! that broke.
+
+use std::sync::Arc;
+
+use hybrid_core::dissemination::{k_dissemination, place_tokens};
+use hybrid_core::kssp::{kssp, KsspVariant};
+use hybrid_core::schneider::schneider_kssp;
+use hybrid_core::{det_token_forward_dissemination, NqOracle};
+use hybrid_graph::generators;
+use hybrid_sim::HybridNetwork;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// **det-broadcast loses** — concentrated heavy load on a grid.
+///
+/// All `k = 256` tokens start at one corner of a 16×16 grid with
+/// `γ = ⌈log₂ 256⌉ = 8`.  Theorem 1 spreads each cluster's payload over its
+/// members before every tree hop, so a level moving `T` tokens costs
+/// `≈ ⌈T / (|C|·γ)⌉` global rounds; the deterministic token-forwarding rival
+/// funnels every token through the cluster *leader*, paying `⌈T/γ⌉` per hop.
+/// With `T = 256 ≫ γ` the funnel is the bottleneck and the rival strictly
+/// loses on the same instance with the same witness.
+#[test]
+fn det_broadcast_pays_for_the_leader_funnel_on_concentrated_load() {
+    let graph = Arc::new(generators::grid(&[16, 16]).unwrap());
+    let oracle = NqOracle::new(&graph);
+    let tokens = place_tokens(&[0], 256);
+
+    let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
+    let ours = k_dissemination(&mut net, &oracle, &tokens);
+    let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
+    let rival = det_token_forward_dissemination(&mut net, &oracle, &tokens);
+
+    assert_eq!(ours.tokens, rival.tokens, "both must solve the instance");
+    assert!(
+        rival.rounds > ours.rounds,
+        "leader funnel must cost extra global rounds on concentrated load: \
+         rival {} vs theorem1 {}",
+        rival.rounds,
+        ours.rounds
+    );
+}
+
+/// **det-broadcast ties** — a single-cluster instance.
+///
+/// On a small cycle the measured `NQ_k` reaches the diameter, the Lemma 3.5
+/// clustering collapses to one cluster and the tree has no edges: *neither*
+/// pipeline sends a single global message, and their local bills are
+/// identical by construction (count + clustering + `2·wd` balancing +
+/// `wd` flood).  The two algorithms differ exactly in their global
+/// schedules, so with no global phase left they tie to the round.
+#[test]
+fn det_broadcast_ties_theorem1_when_one_cluster_covers_the_graph() {
+    let graph = Arc::new(generators::cycle(16).unwrap());
+    let oracle = NqOracle::new(&graph);
+    let tokens = place_tokens(&(0..16).collect::<Vec<_>>(), 200);
+
+    let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
+    let ours = k_dissemination(&mut net, &oracle, &tokens);
+    let mut net = HybridNetwork::hybrid0(Arc::clone(&graph));
+    let rival = det_token_forward_dissemination(&mut net, &oracle, &tokens);
+
+    assert_eq!(ours.tokens, rival.tokens);
+    assert_eq!(
+        ours.rounds, rival.rounds,
+        "with no global phase the pipelines must tie exactly: \
+         theorem1 {} vs det-broadcast {}",
+        ours.rounds, rival.rounds
+    );
+}
+
+/// **Schneider loses** — the hop-diameter bill on a path.
+///
+/// The skeleton-free baseline must deepen its `h`-hop sweeps until they hit
+/// the Bellman–Ford fixpoint, and on a path of `n = 256` nodes that means
+/// `h ≥ 255`: a bill of `Θ(n)` local rounds.  Theorem 14 schedules Theorem 13
+/// SSSP instances on a sampled skeleton and never pays the hop diameter.
+/// Same instance, same sources, same `ε`.
+#[test]
+fn schneider_pays_the_hop_diameter_on_the_path() {
+    let graph = Arc::new(generators::path(256).unwrap());
+    let sources = vec![0u32, 127];
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+
+    let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
+    let ours = kssp(
+        &mut net,
+        &sources,
+        1.0,
+        KsspVariant::RandomSources,
+        &mut rng,
+    );
+    let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
+    let rival = schneider_kssp(&mut net, &sources, 1.0);
+
+    ours.verify_stretch(&graph).unwrap();
+    rival.verify_stretch(&graph).unwrap();
+    assert!(
+        rival.rounds > 2 * ours.rounds,
+        "the deepening bill must dominate on the path: rival {} vs theorem14 {}",
+        rival.rounds,
+        ours.rounds
+    );
+}
+
+/// The flip side pinning the mechanism: the path gap is the *hop diameter's*
+/// fault, so on a low-diameter grid of comparable size the same rival closes
+/// most of the gap.  (Measured as the ratio of round bills — the path ratio
+/// must exceed the grid ratio by at least 2×.)
+#[test]
+fn schneider_gap_collapses_on_low_diameter_instances() {
+    let run = |graph: Arc<hybrid_graph::Graph>| -> f64 {
+        let n = graph.n() as u32;
+        let sources = vec![0u32, n / 2];
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
+        let ours = kssp(
+            &mut net,
+            &sources,
+            1.0,
+            KsspVariant::RandomSources,
+            &mut rng,
+        );
+        let mut net = HybridNetwork::hybrid(Arc::clone(&graph));
+        let rival = schneider_kssp(&mut net, &sources, 1.0);
+        rival.rounds as f64 / ours.rounds.max(1) as f64
+    };
+    let path_ratio = run(Arc::new(generators::path(256).unwrap()));
+    let grid_ratio = run(Arc::new(generators::grid(&[16, 16]).unwrap()));
+    assert!(
+        path_ratio > 2.0 * grid_ratio,
+        "the rival's deficit must be concentrated on high-diameter instances: \
+         path ratio {path_ratio:.2} vs grid ratio {grid_ratio:.2}"
+    );
+}

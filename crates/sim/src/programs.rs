@@ -205,6 +205,74 @@ impl NodeProgram for TokenGossipProgram {
     }
 }
 
+/// Deterministic token forwarding — the per-node execution of the `[CHL23]`
+/// (arXiv:2304.06317) broadcasting discipline on the local network: every
+/// round, each node forwards to each neighbour the *smallest* known token it
+/// has not yet sent to that neighbour — one token per edge per round, no
+/// random bits anywhere.
+///
+/// This is the engine-level counterpart of the phase-level
+/// `det-broadcast` pipeline in `hybrid-core`: the phase algorithm charges the
+/// schedule wholesale, this program actually executes it message by message,
+/// giving the integration tests an independent execution path to
+/// cross-validate against.  On a path with all `k` tokens at one end the
+/// one-token-per-edge discipline pipelines perfectly: the far end learns
+/// token `i` at round `(n-1) + i`.
+#[derive(Debug, Clone)]
+pub struct DetForwardProgram {
+    /// Tokens this node currently knows.
+    pub known: BTreeSet<u64>,
+    /// Per-neighbour set of tokens already forwarded to that neighbour.
+    sent: BTreeMap<NodeId, BTreeSet<u64>>,
+    target_tokens: usize,
+}
+
+impl DetForwardProgram {
+    /// Creates a forwarding node holding `initial` tokens, finished once it
+    /// knows `target_tokens` tokens and owes no neighbour a forward.
+    pub fn new(initial: impl IntoIterator<Item = u64>, target_tokens: usize) -> Self {
+        DetForwardProgram {
+            known: initial.into_iter().collect(),
+            sent: BTreeMap::new(),
+            target_tokens,
+        }
+    }
+
+    fn forward_round(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        let nbs: Vec<NodeId> = ctx.neighbors().to_vec();
+        for nb in nbs {
+            let sent = self.sent.entry(nb).or_default();
+            if let Some(&t) = self.known.iter().find(|t| !sent.contains(t)) {
+                sent.insert(t);
+                ctx.send_local(nb, t);
+            }
+        }
+    }
+}
+
+impl NodeProgram for DetForwardProgram {
+    type Msg = u64;
+
+    fn init(&mut self, ctx: &mut NodeCtx<'_, u64>) {
+        self.forward_round(ctx);
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_, u64>, _round: u64) {
+        for (_, t) in ctx.local_inbox().to_vec() {
+            self.known.insert(t);
+        }
+        self.forward_round(ctx);
+    }
+
+    fn done(&self) -> bool {
+        self.known.len() >= self.target_tokens
+            && self
+                .sent
+                .values()
+                .all(|s| s.len() >= self.known.len().min(self.target_tokens))
+    }
+}
+
 /// Message alphabet of [`AckFloodProgram`].
 #[derive(Debug, Clone)]
 pub enum AckFloodMsg {
@@ -501,6 +569,63 @@ mod tests {
         assert!(report.completed, "combined adversary defeated ack/retry");
         for p in exec.programs() {
             assert_eq!(p.known.len(), 3);
+        }
+    }
+
+    #[test]
+    fn det_forward_pipelines_one_token_per_edge_on_the_path() {
+        let n = 12usize;
+        let k = 4usize;
+        let g = generators::path(n).unwrap();
+        let tokens: Vec<u64> = (0..k as u64).collect();
+        let mut exec = Executor::new(&g, ModelParams::hybrid(n), |v| {
+            DetForwardProgram::new(if v == 0 { tokens.clone() } else { vec![] }, k)
+        });
+        let report = exec.run(10 * (n + k) as u64);
+        assert!(report.completed);
+        for p in exec.programs() {
+            assert_eq!(p.known.len(), k);
+        }
+        // Perfect pipelining: token i reaches the far end at round (n-1)+i,
+        // so everyone is informed by round (n-1)+(k-1) (+1 slack for the
+        // final owed forwards in done()).
+        assert!(
+            report.rounds <= (n + k) as u64 + 1,
+            "pipelining broke: took {} rounds",
+            report.rounds
+        );
+        assert!(report.rounds >= (n - 1) as u64);
+    }
+
+    #[test]
+    fn det_forward_is_deterministic_and_matches_flooding_sets() {
+        let g = generators::grid(&[6, 5]).unwrap();
+        let k = 7usize;
+        let run = || {
+            let mut exec = Executor::new(&g, ModelParams::hybrid(30), |v| {
+                let initial: Vec<u64> = if (v as usize) < k {
+                    vec![v as u64]
+                } else {
+                    vec![]
+                };
+                DetForwardProgram::new(initial, k)
+            });
+            let report = exec.run(5_000);
+            assert!(report.completed);
+            let sets: Vec<Vec<u64>> = exec
+                .programs()
+                .iter()
+                .map(|p| p.known.iter().copied().collect())
+                .collect();
+            (report.rounds, sets)
+        };
+        let (rounds_a, sets_a) = run();
+        let (rounds_b, sets_b) = run();
+        assert_eq!(rounds_a, rounds_b, "replay diverged");
+        assert_eq!(sets_a, sets_b);
+        let expected: Vec<u64> = (0..k as u64).collect();
+        for set in &sets_a {
+            assert_eq!(set, &expected);
         }
     }
 

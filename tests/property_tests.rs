@@ -637,6 +637,146 @@ proptest! {
         }
     }
 
+    /// Differential conformance (shootout registry): on a random
+    /// `(family, seed, λ, γ)` instance, every registered dissemination
+    /// contender delivers the *identical* token set — and the whole registry
+    /// is bit-identical across rayon pool widths `{1, 4}`.
+    #[test]
+    fn registered_dissemination_impls_agree_on_random_instances(
+        graph in arbitrary_graph(),
+        k in 1u64..150,
+        gamma in 1usize..65,
+        lambda_sel in 0u64..5,
+        seed in any::<u64>(),
+    ) {
+        use hybrid::core::{dissemination_registry, nq::NqOracle};
+        use hybrid::sim::LocalBandwidth;
+        use rand::Rng;
+
+        let arc = Arc::new(graph);
+        let params = ModelParams {
+            local: match lambda_sel {
+                0 => LocalBandwidth::Unlimited,
+                s => LocalBandwidth::BoundedBits(64 * s),
+            },
+            global_capacity_msgs: gamma,
+            ..ModelParams::hybrid(arc.n())
+        };
+        let oracle = NqOracle::new(&arc);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut holders: Vec<u32> =
+            (0..arc.n() as u32).filter(|_| rng.gen_bool(0.5)).collect();
+        if holders.is_empty() {
+            holders.push(rng.gen_range(0..arc.n()) as u32);
+        }
+        let tokens = hybrid::core::dissemination::place_tokens(&holders, k);
+
+        let run_registry = || -> Vec<(&'static str, u64, Vec<u64>)> {
+            dissemination_registry()
+                .iter()
+                .map(|algo| {
+                    let mut net = HybridNetwork::new(Arc::clone(&arc), params);
+                    let out = algo.run(&mut net, &oracle, &tokens);
+                    (algo.name(), out.rounds, out.tokens)
+                })
+                .collect()
+        };
+        let reference = run_registry();
+        for (name, _, tokens_out) in &reference {
+            prop_assert!(tokens_out.len() as u64 == k, "{} lost tokens", name);
+            prop_assert!(
+                tokens_out == &reference[0].2,
+                "{} and {} disagree on the delivered token set",
+                name,
+                reference[0].0
+            );
+        }
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let got = pool.install(run_registry);
+            prop_assert!(got == reference, "registry diverged at {} threads", threads);
+        }
+    }
+
+    /// Differential conformance (shootout registry): on a random weighted
+    /// `(family, seed, λ, γ)` instance, every registered shortest-paths
+    /// contender stays within its stated stretch of the exact Dijkstra
+    /// oracle, never underestimates, and reproduces bit-identically across
+    /// rayon pool widths `{1, 4}`.
+    #[test]
+    fn registered_sssp_impls_meet_stretch_on_random_instances(
+        graph in arbitrary_graph(),
+        max_w in 2u64..64,
+        gamma in 1usize..65,
+        lambda_sel in 0u64..5,
+        eps_sel in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        use hybrid::core::sssp_registry;
+        use hybrid::sim::LocalBandwidth;
+        use rand::Rng;
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let weighted = Arc::new(
+            hybrid::graph::generators::with_random_weights(&graph, max_w, &mut rng).unwrap(),
+        );
+        let n = weighted.n();
+        let params = ModelParams {
+            local: match lambda_sel {
+                0 => LocalBandwidth::Unlimited,
+                s => LocalBandwidth::BoundedBits(64 * s),
+            },
+            global_capacity_msgs: gamma,
+            ..ModelParams::hybrid(n)
+        };
+        let epsilon = f64::from(eps_sel) / 8.0;
+        let k = rng.gen_range(1..=4usize.min(n));
+        let mut sources: Vec<u32> = (0..k).map(|_| rng.gen_range(0..n) as u32).collect();
+        sources.sort_unstable();
+        sources.dedup();
+
+        let run_registry = || -> Vec<(&'static str, u64, Vec<Vec<u64>>)> {
+            sssp_registry()
+                .iter()
+                .map(|algo| {
+                    let mut net = HybridNetwork::new(Arc::clone(&weighted), params);
+                    let out = algo.run(&mut net, &sources, epsilon, seed);
+                    (algo.name(), out.rounds, out.dist)
+                })
+                .collect()
+        };
+        let reference = run_registry();
+        for (algo, (name, _, dist)) in sssp_registry().iter().zip(&reference) {
+            let stated = algo.stated_stretch(epsilon);
+            for (si, &s) in sources.iter().enumerate() {
+                let exact = hybrid::graph::dijkstra::dijkstra(&weighted, s).dist;
+                for v in 0..n {
+                    prop_assert!(
+                        dist[si][v] >= exact[v],
+                        "{} underestimated d({}, {})",
+                        name, s, v
+                    );
+                    prop_assert!(
+                        dist[si][v] as f64 <= stated * exact[v] as f64 + 1e-6,
+                        "{} broke its stated stretch {} at d({}, {}): {} vs exact {}",
+                        name, stated, s, v, dist[si][v], exact[v]
+                    );
+                }
+            }
+        }
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            let got = pool.install(run_registry);
+            prop_assert!(got == reference, "registry diverged at {} threads", threads);
+        }
+    }
+
     /// Streaming generators (random families): the canonical per-chunk
     /// streams are seed-deterministic and pool-width invariant — the edge
     /// list is a pure function of `(family, n, seed)`, never of the worker
