@@ -1,0 +1,49 @@
+//! Criterion bench for the query-serving tier: throughput of batched
+//! distance and path queries against a built `DistanceOracle`, plus the
+//! one-off build cost.  The per-iteration batch size is fixed, so the
+//! reported time per iteration divides into a queries-per-second figure.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hybrid_bench::oracle_bench::OracleBenchConfig;
+use hybrid_core::oracle::{DistanceOracle, OracleConfig};
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_queries");
+    group.sample_size(10);
+
+    let config = OracleBenchConfig::quick();
+    let graph = config.build_graph();
+    let oracle = DistanceOracle::build(
+        &graph,
+        OracleConfig {
+            seed: config.seed,
+            ..OracleConfig::default()
+        },
+    )
+    .expect("oracle build");
+    let batches = config.query_batches(graph.n());
+    let batch = &batches[0];
+
+    group.bench_function(format!("query_batch_{}", batch.len()), |b| {
+        b.iter(|| black_box(oracle.query_batch(black_box(batch))))
+    });
+    group.bench_function(format!("query_paths_batch_{}", batch.len()), |b| {
+        b.iter(|| black_box(oracle.query_paths_batch(black_box(batch))))
+    });
+    group.bench_function("build_grid576", |b| {
+        b.iter(|| {
+            DistanceOracle::build(
+                black_box(&graph),
+                OracleConfig {
+                    seed: config.seed,
+                    ..OracleConfig::default()
+                },
+            )
+            .expect("oracle build")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p hybrid-bench --bin reproduce -- [table1|table2|table3|table4|figure1|appendix-b|sweep|faults|all] [--quick] [--check-regression] [--strict]
+//! cargo run --release -p hybrid-bench --bin reproduce -- [table1|table2|table3|table4|figure1|appendix-b|sweep|faults|oracle|all] [--quick] [--check-regression] [--strict]
 //! ```
 //!
 //! `--quick` shrinks the instance sizes so the full run finishes in well under
@@ -28,6 +28,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use hybrid_bench::faults_sweep::{fault_sweep_rows, FaultSweepConfig};
+use hybrid_bench::oracle_bench::{oracle_bench_rows, OracleBenchConfig};
 use hybrid_bench::scale::{scale_rows, ScaleConfig};
 use hybrid_bench::scenarios::{
     appendix_b_rows, figure1_rows, table1_rows, table2_rows, table3_rows, table4_rows, GraphFamily,
@@ -36,7 +37,7 @@ use hybrid_bench::sweep::{sweep_rows_with, validate_sweep_artifact, SweepConfig}
 use serde::Serialize;
 
 const USAGE: &str =
-    "usage: reproduce [table1|table2|table3|table4|figure1|appendix-b|sweep|faults|all] [--scale] [--algo <name,...>] [--quick] [--check-regression] [--strict]";
+    "usage: reproduce [table1|table2|table3|table4|figure1|appendix-b|sweep|faults|oracle|all] [--scale] [--algo <name,...>] [--quick] [--check-regression] [--strict]";
 
 /// Parsed command line of the `reproduce` binary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -725,6 +726,41 @@ fn run_sweep_scale(quick: bool) -> u64 {
     rows.iter().map(|r| r.peak_mem_bytes).max().unwrap_or(0)
 }
 
+/// The serving tier: build a `DistanceOracle` once, answer batched
+/// point-to-point queries, record latency percentiles (telemetry, not
+/// diffed) and deterministic answer digests (diffed across pool widths).
+/// Returns the oracle's resident bytes as the dominant allocation.
+fn run_oracle(quick: bool) -> u64 {
+    let config = if quick {
+        OracleBenchConfig::quick()
+    } else {
+        OracleBenchConfig::full()
+    };
+    println!(
+        "\n=== Oracle serving: {}x{} weighted grid, {} batches x {} queries ===",
+        config.dims.0, config.dims.1, config.batches, config.batch_size
+    );
+    let (latency, answers) = oracle_bench_rows(&config);
+    println!(
+        "{:<10}{:>8}{:>10}{:>10}{:>12}{:>12}{:>12}{:>14}",
+        "n", "m", "landmarks", "build-ms", "p50-us", "p90-us", "p99-us", "queries/s"
+    );
+    println!(
+        "{:<10}{:>8}{:>10}{:>10.1}{:>12.1}{:>12.1}{:>12.1}{:>14.0}",
+        latency.n,
+        latency.m,
+        latency.landmarks,
+        latency.build_ms,
+        latency.p50_us,
+        latency.p90_us,
+        latency.p99_us,
+        latency.queries_per_sec
+    );
+    write_json("oracle_queries", &latency);
+    write_json("oracle_answers", &answers);
+    latency.memory_bytes
+}
+
 /// Returns the dominant allocation: per-node mailboxes holding `O(log n)`
 /// in-flight tokens (payload + retry bookkeeping) at the largest size.
 fn run_faults(quick: bool) -> u64 {
@@ -807,6 +843,7 @@ fn main() {
         "sweep" if cli.scale => vec![timed("scale", || run_sweep_scale(quick))],
         "sweep" => vec![timed("sweep", || run_sweep(quick, algo.as_deref()))],
         "faults" => vec![timed("faults", || run_faults(quick))],
+        "oracle" => vec![timed("oracle", || run_oracle(quick))],
         "all" => vec![
             timed("table1", || run_table1(quick)),
             timed("table2", || run_table2(quick)),
@@ -816,6 +853,7 @@ fn main() {
             timed("appendix-b", || run_appendix_b(quick)),
             timed("sweep", || run_sweep(quick, None)),
             timed("faults", || run_faults(quick)),
+            timed("oracle", || run_oracle(quick)),
         ],
         other => {
             eprintln!("unknown target '{other}'\n{USAGE}");

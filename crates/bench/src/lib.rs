@@ -16,7 +16,11 @@
 //!   fault-profile` grid;
 //! * The scale tier (the [`scale`] module) — the sweep question at
 //!   `n = 10⁵–10⁶` on streaming generators, row-streamed distances and
-//!   sampled `NQ` witnesses (`reproduce sweep --scale`).
+//!   sampled `NQ` witnesses (`reproduce sweep --scale`);
+//! * The serving tier (the [`oracle_bench`] module) — batched point-to-point
+//!   queries against a built [`hybrid_core::oracle::DistanceOracle`], with
+//!   per-batch latency percentiles and a queries/s figure
+//!   (`reproduce oracle`).
 //!
 //! The round-count reproduction lives in the [`scenarios`] module and is
 //! driven by the `reproduce` binary (`cargo run -p hybrid-bench --bin
@@ -26,11 +30,13 @@
 //! same scenarios.
 
 pub mod faults_sweep;
+pub mod oracle_bench;
 pub mod scale;
 pub mod scenarios;
 pub mod sweep;
 
 pub use faults_sweep::{fault_sweep_rows, FaultProfile, FaultSweepConfig, FaultSweepRow};
+pub use oracle_bench::{oracle_bench_rows, OracleBenchConfig};
 pub use scale::{scale_rows, ScaleConfig, ScaleRow};
 pub use scenarios::{
     appendix_b_rows, figure1_rows, table1_rows, table2_rows, table3_rows, table4_rows, GraphFamily,

@@ -1,0 +1,280 @@
+//! Query-serving benchmark: build a [`DistanceOracle`] once, then serve
+//! batched point-to-point queries and record per-batch latency percentiles
+//! and throughput.
+//!
+//! The workload is split into two artifacts with different determinism
+//! contracts (the same split the sweep uses for `bench_last_run.json`):
+//!
+//! * `results/oracle_queries.json` ([`OracleLatencyReport`]) — wall-clock
+//!   telemetry: per-batch latencies, `p50/p90/p99` percentiles and a
+//!   queries-per-second figure.  Timing is machine-dependent and **excluded**
+//!   from the CI cross-thread diff.
+//! * `results/oracle_answers.json` ([`OracleAnswersReport`]) — the semantic
+//!   output: the landmark set, one FNV-1a digest per answered batch and the
+//!   saturating sum of all answers.  Bit-identical across
+//!   `RAYON_NUM_THREADS` and **included** in the CI cross-thread diff.
+//!
+//! Percentiles are computed by *count* (nearest-rank over the sorted batch
+//! latencies), never asserted against wall-clock thresholds — timing numbers
+//! are recorded, only answer content is gated.
+
+use std::time::Instant;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+use hybrid_core::oracle::{DistanceOracle, OracleConfig, ORACLE_STRETCH};
+use hybrid_graph::{generators, Graph, NodeId};
+
+/// Workload shape for the oracle serving benchmark.
+#[derive(Debug, Clone)]
+pub struct OracleBenchConfig {
+    /// Grid side lengths of the weighted instance (`n = dims.0 · dims.1`).
+    pub dims: (usize, usize),
+    /// Maximum random edge weight.
+    pub max_weight: u64,
+    /// Number of query batches to serve.
+    pub batches: usize,
+    /// Queries per batch.
+    pub batch_size: usize,
+    /// Seed for the instance, the landmark sample and the query stream.
+    pub seed: u64,
+}
+
+impl OracleBenchConfig {
+    /// CI-sized workload (`--quick`).
+    pub fn quick() -> Self {
+        OracleBenchConfig {
+            dims: (24, 24),
+            max_weight: 32,
+            batches: 12,
+            batch_size: 2048,
+            seed: 0x0_5E4F,
+        }
+    }
+
+    /// Full-size workload.
+    pub fn full() -> Self {
+        OracleBenchConfig {
+            dims: (48, 48),
+            max_weight: 32,
+            batches: 32,
+            batch_size: 8192,
+            seed: 0x0_5E4F,
+        }
+    }
+
+    /// The benchmark instance: a connected weighted grid.
+    pub fn build_graph(&self) -> Graph {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        generators::weighted_grid(&[self.dims.0, self.dims.1], self.max_weight, &mut rng)
+            .expect("bench grid")
+    }
+
+    /// The deterministic query stream: `batches` batches of uniform pairs.
+    pub fn query_batches(&self, n: usize) -> Vec<Vec<(NodeId, NodeId)>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x9E37_79B9_7F4A_7C15);
+        (0..self.batches)
+            .map(|_| {
+                (0..self.batch_size)
+                    .map(|_| (rng.gen_range(0..n as NodeId), rng.gen_range(0..n as NodeId)))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Latency of one served batch.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchLatency {
+    /// Batch index in serving order.
+    pub batch: usize,
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Wall-clock microseconds to answer the whole batch.
+    pub wall_us: f64,
+}
+
+/// Timing telemetry of an oracle serving run (`results/oracle_queries.json`;
+/// machine-dependent, excluded from the determinism diff).
+#[derive(Debug, Clone, Serialize)]
+pub struct OracleLatencyReport {
+    /// Artifact schema tag.
+    pub schema: &'static str,
+    /// Nodes served.
+    pub n: usize,
+    /// Edges of the instance.
+    pub m: usize,
+    /// Landmarks sampled.
+    pub landmarks: usize,
+    /// Preprocessing wall-clock milliseconds (build once).
+    pub build_ms: f64,
+    /// Oracle resident bytes after the build.
+    pub memory_bytes: u64,
+    /// Per-batch latencies in serving order.
+    pub batches: Vec<BatchLatency>,
+    /// Nearest-rank p50 over the batch latencies, microseconds.
+    pub p50_us: f64,
+    /// Nearest-rank p90 over the batch latencies, microseconds.
+    pub p90_us: f64,
+    /// Nearest-rank p99 over the batch latencies, microseconds.
+    pub p99_us: f64,
+    /// Total distance queries served per second (batch answering only).
+    pub queries_per_sec: f64,
+}
+
+/// Semantic output of an oracle serving run (`results/oracle_answers.json`;
+/// bit-identical across pool widths, gated by the CI cross-thread diff).
+#[derive(Debug, Clone, Serialize)]
+pub struct OracleAnswersReport {
+    /// Artifact schema tag.
+    pub schema: &'static str,
+    /// Nodes served.
+    pub n: usize,
+    /// Documented stretch of the serving contract.
+    pub stretch: f64,
+    /// The sorted landmark sample the build chose.
+    pub landmarks: Vec<NodeId>,
+    /// FNV-1a digest of each batch's answer vector, in serving order.
+    pub batch_digests: Vec<u64>,
+    /// FNV-1a digest of the first batch's witness-path arena.
+    pub path_digest: u64,
+    /// Saturating sum of every answered distance.
+    pub answer_sum: u64,
+}
+
+/// FNV-1a over a stream of `u64` values.
+fn fnv1a(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Nearest-rank percentile (count-based; `sorted` must be ascending).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs the serving workload: builds the oracle once, serves every batch,
+/// and returns the (telemetry, semantic) artifact pair.
+pub fn oracle_bench_rows(config: &OracleBenchConfig) -> (OracleLatencyReport, OracleAnswersReport) {
+    let graph = config.build_graph();
+    let n = graph.n();
+    let build_start = Instant::now();
+    let oracle = DistanceOracle::build(
+        &graph,
+        OracleConfig {
+            seed: config.seed,
+            ..OracleConfig::default()
+        },
+    )
+    .expect("oracle build");
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+
+    let batches = config.query_batches(n);
+    let mut latencies = Vec::with_capacity(batches.len());
+    let mut digests = Vec::with_capacity(batches.len());
+    let mut answer_sum: u64 = 0;
+    for (i, batch) in batches.iter().enumerate() {
+        let start = Instant::now();
+        let answers = oracle.query_batch(batch);
+        let wall_us = start.elapsed().as_secs_f64() * 1e6;
+        latencies.push(BatchLatency {
+            batch: i,
+            queries: batch.len(),
+            wall_us,
+        });
+        for &a in &answers {
+            answer_sum = answer_sum.saturating_add(a);
+        }
+        digests.push(fnv1a(answers));
+    }
+    // One witness-path batch pins the path arena in the semantic artifact.
+    let paths = oracle.query_paths_batch(&batches[0]);
+    let path_digest = fnv1a(
+        paths
+            .dists()
+            .iter()
+            .copied()
+            .chain((0..paths.len()).flat_map(|i| paths.path(i).iter().map(|&v| v as u64))),
+    );
+
+    let total_queries: usize = latencies.iter().map(|b| b.queries).sum();
+    let total_us: f64 = latencies.iter().map(|b| b.wall_us).sum();
+    let mut sorted: Vec<f64> = latencies.iter().map(|b| b.wall_us).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let latency = OracleLatencyReport {
+        schema: "hybrid-oracle-queries/v1",
+        n,
+        m: graph.m(),
+        landmarks: oracle.landmarks().len(),
+        build_ms,
+        memory_bytes: oracle.memory_bytes(),
+        p50_us: percentile(&sorted, 50.0),
+        p90_us: percentile(&sorted, 90.0),
+        p99_us: percentile(&sorted, 99.0),
+        queries_per_sec: if total_us > 0.0 {
+            total_queries as f64 / (total_us / 1e6)
+        } else {
+            0.0
+        },
+        batches: latencies,
+    };
+    let answers = OracleAnswersReport {
+        schema: "hybrid-oracle-answers/v1",
+        n,
+        stretch: ORACLE_STRETCH,
+        landmarks: oracle.landmarks().to_vec(),
+        batch_digests: digests,
+        path_digest,
+        answer_sum,
+    };
+    (latency, answers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_is_deterministic_and_shaped() {
+        let config = OracleBenchConfig {
+            dims: (6, 6),
+            max_weight: 8,
+            batches: 3,
+            batch_size: 64,
+            seed: 42,
+        };
+        let (lat_a, ans_a) = oracle_bench_rows(&config);
+        let (_, ans_b) = oracle_bench_rows(&config);
+        assert_eq!(lat_a.batches.len(), 3);
+        assert_eq!(ans_a.batch_digests.len(), 3);
+        // The semantic artifact is run-to-run identical; timing is not gated.
+        assert_eq!(ans_a.batch_digests, ans_b.batch_digests);
+        assert_eq!(ans_a.answer_sum, ans_b.answer_sum);
+        assert_eq!(ans_a.path_digest, ans_b.path_digest);
+        assert_eq!(ans_a.landmarks, ans_b.landmarks);
+        assert!(lat_a.queries_per_sec > 0.0);
+        assert!(lat_a.p50_us <= lat_a.p99_us);
+    }
+
+    #[test]
+    fn percentiles_are_count_based() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&sorted, 50.0), 5.0);
+        assert_eq!(percentile(&sorted, 90.0), 9.0);
+        assert_eq!(percentile(&sorted, 99.0), 10.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

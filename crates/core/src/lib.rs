@@ -34,7 +34,12 @@
 //! simulator, which the `hybrid-bench` crate uses to regenerate the paper's
 //! tables and figures.
 
-#![forbid(unsafe_code)]
+// The default build carries no unsafe code at all; the `simd` feature opts
+// into one audited `#[allow(unsafe_code)]` module of AVX2 intrinsics (the
+// `(min, +)` fold kernels in [`minplus::kernel`]) and keeps everything else
+// denied.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod algorithm;
@@ -52,6 +57,7 @@ pub mod lower_bounds;
 pub mod minor_aggregation;
 pub mod minplus;
 pub mod nq;
+pub mod oracle;
 pub mod overlay;
 pub mod prob;
 pub mod routing;
@@ -90,6 +96,7 @@ pub use dissemination::{
     baseline_sqrt_k_dissemination, k_aggregation, k_dissemination, DisseminationOutput,
 };
 pub use nq::{compute_nq, NqEstimate, NqOracle, NqSource, SampledNqOracle};
+pub use oracle::{DistanceOracle, OracleConfig, PathBatch, ORACLE_STRETCH};
 pub use routing::{baseline_sqrt_k_routing, kl_routing, RoutingOutput, RoutingScenario};
 pub use rows::DistanceRows;
 pub use schneider::schneider_kssp;

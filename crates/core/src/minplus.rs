@@ -174,9 +174,189 @@ pub enum Coeff {
 /// initial row untouched.
 pub type Assignment = Option<(usize, Weight)>;
 
-#[inline(always)]
-fn sat(a: Weight, b: Weight) -> Weight {
-    a.saturating_add(b)
+/// Element-wise saturating `(min, +)` fold kernels — the only code that
+/// touches the accumulator inside [`compose`].
+///
+/// [`kernel::fold_min_sat`] and [`kernel::fold_min_sat_quad`] dispatch to an
+/// explicit AVX2 implementation when the `simd` cargo feature is enabled and
+/// the CPU supports it (checked once per call via
+/// `is_x86_feature_detected!`); the scalar implementations are **always
+/// compiled** and are the fallback everywhere else.  Saturating `u64`
+/// addition and `u64` `min` are exact integer operations, so the vector and
+/// scalar paths agree **bit for bit** on every input — pinned by the
+/// workspace proptest `minplus_simd_kernel_matches_scalar` alongside the
+/// existing blocked ≡ naive contract.
+pub mod kernel {
+    use hybrid_graph::Weight;
+
+    #[inline(always)]
+    fn sat(a: Weight, b: Weight) -> Weight {
+        a.saturating_add(b)
+    }
+
+    /// `acc[v] = min(acc[v], row[v] ⊕ base)` over the common prefix of the
+    /// two slices.
+    #[inline]
+    pub fn fold_min_sat(acc: &mut [Weight], row: &[Weight], base: Weight) {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 availability was just checked.
+            #[allow(unsafe_code)]
+            unsafe {
+                avx2::fold_min_sat(acc, row, base);
+            }
+            return;
+        }
+        fold_min_sat_scalar(acc, row, base);
+    }
+
+    /// Scalar reference for [`fold_min_sat`]; always compiled.
+    #[inline]
+    pub fn fold_min_sat_scalar(acc: &mut [Weight], row: &[Weight], base: Weight) {
+        for (slot, &via) in acc.iter_mut().zip(row) {
+            let c = sat(via, base);
+            if c < *slot {
+                *slot = c;
+            }
+        }
+    }
+
+    /// Register-tiled fold of four rows at once:
+    /// `acc[v] = min(acc[v], min_j (rows[j][v] ⊕ bases[j]))` over the common
+    /// prefix of all five slices.  One accumulator load/store serves all four
+    /// rows ([`super::ROW_TILE`]).
+    #[inline]
+    pub fn fold_min_sat_quad(acc: &mut [Weight], rows: [&[Weight]; 4], bases: [Weight; 4]) {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 availability was just checked.
+            #[allow(unsafe_code)]
+            unsafe {
+                avx2::fold_min_sat_quad(acc, rows, bases);
+            }
+            return;
+        }
+        fold_min_sat_quad_scalar(acc, rows, bases);
+    }
+
+    /// Scalar reference for [`fold_min_sat_quad`]; always compiled.
+    #[inline]
+    pub fn fold_min_sat_quad_scalar(acc: &mut [Weight], rows: [&[Weight]; 4], bases: [Weight; 4]) {
+        let [r0, r1, r2, r3] = rows;
+        let [b0, b1, b2, b3] = bases;
+        let n = acc
+            .len()
+            .min(r0.len())
+            .min(r1.len())
+            .min(r2.len())
+            .min(r3.len());
+        for v in 0..n {
+            let c01 = sat(r0[v], b0).min(sat(r1[v], b1));
+            let c23 = sat(r2[v], b2).min(sat(r3[v], b3));
+            let c = c01.min(c23);
+            if c < acc[v] {
+                acc[v] = c;
+            }
+        }
+    }
+
+    /// AVX2 lanes for the fold: 4 × `u64` per vector.  `u64` has no native
+    /// unsigned compare or min below AVX-512, so both go through the usual
+    /// sign-bit flip to signed `_mm256_cmpgt_epi64`; saturation detects
+    /// wrap-around (`sum <ᵤ row`) the same way.  Every lane operation is
+    /// exact, so the result equals the scalar fold bit for bit.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[allow(unsafe_code)]
+    mod avx2 {
+        use core::arch::x86_64::*;
+
+        use hybrid_graph::Weight;
+
+        /// One vector step: `min_u(acc, row ⊕_sat base)`.
+        ///
+        /// # Safety
+        /// The caller must have verified AVX2 support.
+        #[inline]
+        #[target_feature(enable = "avx2")]
+        unsafe fn min_sat(acc: __m256i, row: __m256i, base: __m256i, sign: __m256i) -> __m256i {
+            let sum = _mm256_add_epi64(row, base);
+            // Wrapped iff sum <u row ⇔ (row ^ sign) >s (sum ^ sign); the
+            // comparison mask is all-ones per wrapped lane, so OR saturates
+            // those lanes to u64::MAX.
+            let wrapped =
+                _mm256_cmpgt_epi64(_mm256_xor_si256(row, sign), _mm256_xor_si256(sum, sign));
+            let sat = _mm256_or_si256(sum, wrapped);
+            // min_u(acc, sat): where acc >u sat, take sat.
+            let gt = _mm256_cmpgt_epi64(_mm256_xor_si256(acc, sign), _mm256_xor_si256(sat, sign));
+            _mm256_blendv_epi8(acc, sat, gt)
+        }
+
+        /// Vectorized [`super::fold_min_sat_scalar`].
+        ///
+        /// # Safety
+        /// The caller must have verified AVX2 support.
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn fold_min_sat(acc: &mut [Weight], row: &[Weight], base: Weight) {
+            let n = acc.len().min(row.len());
+            let sign = _mm256_set1_epi64x(i64::MIN);
+            let vb = _mm256_set1_epi64x(base as i64);
+            let mut v = 0usize;
+            while v + 4 <= n {
+                let pa = acc.as_mut_ptr().add(v).cast::<__m256i>();
+                let va = _mm256_loadu_si256(pa.cast_const());
+                let vr = _mm256_loadu_si256(row.as_ptr().add(v).cast::<__m256i>());
+                _mm256_storeu_si256(pa, min_sat(va, vr, vb, sign));
+                v += 4;
+            }
+            super::fold_min_sat_scalar(&mut acc[v..n], &row[v..n], base);
+        }
+
+        /// Vectorized [`super::fold_min_sat_quad_scalar`].
+        ///
+        /// # Safety
+        /// The caller must have verified AVX2 support.
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn fold_min_sat_quad(
+            acc: &mut [Weight],
+            rows: [&[Weight]; 4],
+            bases: [Weight; 4],
+        ) {
+            let n = acc
+                .len()
+                .min(rows[0].len())
+                .min(rows[1].len())
+                .min(rows[2].len())
+                .min(rows[3].len());
+            let sign = _mm256_set1_epi64x(i64::MIN);
+            let vb = [
+                _mm256_set1_epi64x(bases[0] as i64),
+                _mm256_set1_epi64x(bases[1] as i64),
+                _mm256_set1_epi64x(bases[2] as i64),
+                _mm256_set1_epi64x(bases[3] as i64),
+            ];
+            let mut v = 0usize;
+            while v + 4 <= n {
+                let pa = acc.as_mut_ptr().add(v).cast::<__m256i>();
+                let mut va = _mm256_loadu_si256(pa.cast_const());
+                for (row, base) in rows.iter().zip(&vb) {
+                    let vr = _mm256_loadu_si256(row.as_ptr().add(v).cast::<__m256i>());
+                    va = min_sat(va, vr, *base, sign);
+                }
+                _mm256_storeu_si256(pa, va);
+                v += 4;
+            }
+            super::fold_min_sat_quad_scalar(
+                &mut acc[v..n],
+                [
+                    &rows[0][v..n],
+                    &rows[1][v..n],
+                    &rows[2][v..n],
+                    &rows[3][v..n],
+                ],
+                bases,
+            );
+        }
+    }
 }
 
 /// The active slice of one skeleton row within the current reduction: its
@@ -236,16 +416,16 @@ fn reduce_group<'a>(rows: &'a RowMatrix, coeff: &Coeff) -> std::borrow::Cow<'a, 
                     reduce_single(&mut acc, a, tile_lo, lo);
                     reduce_single(&mut acc, a, hi, tile_hi);
                 }
-                let (r0, r1, r2, r3) = (a0.row, a1.row, a2.row, a3.row);
-                let (b0, b1, b2, b3) = (a0.base, a1.base, a2.base, a3.base);
-                for v in lo..hi {
-                    let c01 = sat(r0[v], b0).min(sat(r1[v], b1));
-                    let c23 = sat(r2[v], b2).min(sat(r3[v], b3));
-                    let c = c01.min(c23);
-                    if c < acc[v] {
-                        acc[v] = c;
-                    }
-                }
+                kernel::fold_min_sat_quad(
+                    &mut acc[lo..hi],
+                    [
+                        &a0.row[lo..hi],
+                        &a1.row[lo..hi],
+                        &a2.row[lo..hi],
+                        &a3.row[lo..hi],
+                    ],
+                    [a0.base, a1.base, a2.base, a3.base],
+                );
             } else {
                 for a in quad {
                     reduce_single(&mut acc, a, tile_lo, tile_hi);
@@ -268,12 +448,7 @@ fn reduce_single(acc: &mut [Weight], a: &ActiveRow, lo: usize, hi: usize) {
     if lo >= hi {
         return;
     }
-    for (slot, &via) in acc[lo..hi].iter_mut().zip(&a.row[lo..hi]) {
-        let c = sat(via, a.base);
-        if c < *slot {
-            *slot = c;
-        }
-    }
+    kernel::fold_min_sat(&mut acc[lo..hi], &a.row[lo..hi], a.base);
 }
 
 /// Blocked `(min, +)` composition (see the module docs for the layout).
@@ -322,12 +497,7 @@ pub fn compose(
             if !rows.is_empty() {
                 assert_eq!(out.len(), rows.ncols(), "initial row length != n");
             }
-            for (o, &a) in out.iter_mut().zip(anchor) {
-                let c = sat(a, offset);
-                if c < *o {
-                    *o = c;
-                }
-            }
+            kernel::fold_min_sat(&mut out, anchor, offset);
             out
         })
         .with_min_len(8)
@@ -486,5 +656,105 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_rows_panic() {
         matrix(vec![vec![1, 2], vec![1]]);
+    }
+
+    /// Saturating-add boundary audit (ISSUE 9 satellite): `u64::MAX - 1`
+    /// entries sitting exactly on the `COLUMN_TILE` seam must saturate into
+    /// the `INFINITY` sentinel identically in the blocked, naive and kernel
+    /// paths — a finite-but-huge candidate may never wrap around and win a
+    /// minimum it should lose.
+    #[test]
+    fn saturation_boundary_at_column_tile_edges() {
+        let n = COLUMN_TILE + 5;
+        let mut row = vec![INFINITY; n];
+        // Finite entries pinned to both sides of the tile seam and both ends
+        // of the span (so the span covers the seam).
+        for v in [0, COLUMN_TILE - 1, COLUMN_TILE, n - 1] {
+            row[v] = Weight::MAX - 1;
+        }
+        row[1] = 7;
+        let m = matrix(vec![row]);
+        for base in [0, 1, Weight::MAX - 1] {
+            for offset in [0, 1] {
+                let coeffs = vec![Coeff::Dense(vec![base])];
+                let assign: Vec<Assignment> = vec![Some((0, offset))];
+                let init = vec![vec![Weight::MAX - 1; n]];
+                let blocked = compose(&m, &coeffs, &assign, &refs(&init));
+                let naive = compose_naive(&m, &coeffs, &assign, &refs(&init));
+                assert_eq!(blocked, naive, "base={base} offset={offset}");
+                // MAX-1 candidates saturate to INFINITY as soon as anything
+                // is added and then lose against the MAX-1 initial row.
+                assert_eq!(blocked[0][COLUMN_TILE - 1], Weight::MAX - 1);
+                assert_eq!(blocked[0][COLUMN_TILE], Weight::MAX - 1);
+            }
+        }
+    }
+
+    /// The same boundary through the register-tiled quad loop: four rows
+    /// whose joint span crosses the tile seam, all carrying `u64::MAX - 1`
+    /// entries there.
+    #[test]
+    fn saturation_boundary_survives_the_quad_loop() {
+        let n = COLUMN_TILE + 9;
+        let rows: Vec<Vec<Weight>> = (0..4u64)
+            .map(|j| {
+                (0..n)
+                    .map(|v| {
+                        if (COLUMN_TILE - 2..=COLUMN_TILE + 2).contains(&v) {
+                            Weight::MAX - 1
+                        } else {
+                            v as Weight + j
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let m = matrix(rows);
+        let coeffs = vec![Coeff::Dense(vec![1, 0, Weight::MAX - 1, 2])];
+        let assign: Vec<Assignment> = vec![Some((0, 1))];
+        let init = vec![vec![Weight::MAX - 1; n]];
+        let blocked = compose(&m, &coeffs, &assign, &refs(&init));
+        let naive = compose_naive(&m, &coeffs, &assign, &refs(&init));
+        assert_eq!(blocked, naive);
+        // On the seam every candidate saturates; the initial row survives.
+        assert_eq!(blocked[0][COLUMN_TILE], Weight::MAX - 1);
+        // Off the seam the finite candidates win: min_j (v + j + coeff_j) + 1.
+        assert_eq!(blocked[0][0], 2);
+    }
+
+    /// The dispatching kernels and their scalar references agree on the
+    /// saturation boundary and on `INFINITY` runs (meaningful under
+    /// `--features simd`, trivially true otherwise).
+    #[test]
+    fn kernel_dispatch_matches_scalar_on_boundaries() {
+        let row: Vec<Weight> = vec![
+            0,
+            1,
+            Weight::MAX - 1,
+            INFINITY,
+            INFINITY,
+            Weight::MAX / 2,
+            42,
+            Weight::MAX - 2,
+            3,
+            INFINITY,
+            7,
+        ];
+        for base in [0, 1, Weight::MAX / 2, Weight::MAX - 1, INFINITY] {
+            let init: Vec<Weight> = row.iter().rev().copied().collect();
+            let mut a = init.clone();
+            let mut b = init.clone();
+            kernel::fold_min_sat(&mut a, &row, base);
+            kernel::fold_min_sat_scalar(&mut b, &row, base);
+            assert_eq!(a, b, "fold_min_sat diverged at base {base}");
+
+            let rows = [&row[..], &init[..], &row[..], &init[..]];
+            let bases = [base, 0, Weight::MAX - 1, base];
+            let mut a = init.clone();
+            let mut b = init.clone();
+            kernel::fold_min_sat_quad(&mut a, rows, bases);
+            kernel::fold_min_sat_quad_scalar(&mut b, rows, bases);
+            assert_eq!(a, b, "fold_min_sat_quad diverged at base {base}");
+        }
     }
 }

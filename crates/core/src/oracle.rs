@@ -1,0 +1,645 @@
+//! Query-serving distance oracle built on top of a completed sweep.
+//!
+//! The batch experiments ([`crate::apsp`], [`crate::kssp`], the scale tier's
+//! [`crate::rows`]) answer "compute everything, then verify" workloads.  This
+//! module adds the *serving* layer the paper's oracle framing implies
+//! (Schneider's labeling view of Theorem 8 / Theorem 14): preprocess once,
+//! then answer arbitrary point-to-point distance and path queries online.
+//!
+//! # Construction
+//!
+//! [`DistanceOracle::build`] samples `⌈√n⌉` **landmarks** (the same density
+//! as the Definition 6.2 skeleton-node sampling) and runs one exact Dijkstra
+//! per landmark through [`DistanceRows::compute_with_parents`] — the
+//! "completed sweep" rows.  Every node `u` then stores a **routing label**:
+//!
+//! * its *anchor* `a(u)` — the closest landmark — and the exact offset
+//!   `d(u, a(u))`;
+//! * its strict *ball* `B(u) = { w : d(u, w) < d(u, a(u)) }`, with exact
+//!   distances and in-ball parent chains.
+//!
+//! # Query contract (documented stretch)
+//!
+//! For a query `(u, v)` the oracle answers `d(u, v)` exactly whenever
+//! `v ∈ B(u)` or `u ∈ B(v)` (in particular whenever either endpoint is a
+//! landmark), and otherwise the better of the two via-anchor routes
+//! `d(u, a(u)) + d(a(u), v)` / `d(v, a(v)) + d(a(v), u)`.  Every candidate is
+//! the length of a real walk, so answers **never underestimate**; and when
+//! `v ∉ B(u)` we have `d(u, a(u)) ≤ d(u, v)`, hence
+//!
+//! ```text
+//! d(u,a(u)) + d(a(u),v) ≤ 2·d(u,a(u)) + d(u,v) ≤ 3·d(u,v)
+//! ```
+//!
+//! — the classic stretch-[`ORACLE_STRETCH`] landmark bound.  Path queries
+//! materialise the witness walk behind the reported value by splicing parent
+//! chains (ball chains for exact hits, landmark-forest chains otherwise), so
+//! the edge weights of a returned path always telescope to **exactly** the
+//! reported distance.  Both guarantees are pinned by
+//! `crates/core/tests/oracle_conformance.rs`.
+//!
+//! # Batched serving
+//!
+//! [`DistanceOracle::query_batch`] and
+//! [`DistanceOracle::query_paths_batch`] split the query slice into
+//! fixed-size chunks and fan the chunks out over the rayon pool, splicing the
+//! per-chunk results back in index order — answers are bit-identical for any
+//! pool width.  Path batches land in a [`PathBatch`] arena (one flat node
+//! buffer plus offsets) instead of per-query `Vec`s.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use hybrid_graph::{Graph, NodeId, Weight, INFINITY};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use crate::rows::DistanceRows;
+
+/// Worst-case multiplicative stretch of [`DistanceOracle`] answers on
+/// connected graphs: answers `a` satisfy `d ≤ a ≤ ORACLE_STRETCH · d`.
+pub const ORACLE_STRETCH: f64 = 3.0;
+
+/// Construction parameters for [`DistanceOracle::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct OracleConfig {
+    /// Number of landmarks to sample; `0` means the default `⌈√n⌉`.
+    pub landmarks: usize,
+    /// Seed for the deterministic landmark sample.
+    pub seed: u64,
+    /// Queries per parallel chunk in the batched entry points.
+    pub query_chunk: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            landmarks: 0,
+            seed: 0xD15C0,
+            query_chunk: 1024,
+        }
+    }
+}
+
+/// Arena holding the result of [`DistanceOracle::query_paths_batch`]: one
+/// distance per query plus all witness paths in a single flat node buffer.
+#[derive(Debug, Clone)]
+pub struct PathBatch {
+    dists: Vec<Weight>,
+    /// `offsets[i]..offsets[i+1]` delimits query `i`'s path in `nodes`.
+    offsets: Vec<u32>,
+    nodes: Vec<NodeId>,
+}
+
+impl PathBatch {
+    /// Number of queries answered.
+    pub fn len(&self) -> usize {
+        self.dists.len()
+    }
+
+    /// `true` if the batch held no queries.
+    pub fn is_empty(&self) -> bool {
+        self.dists.is_empty()
+    }
+
+    /// Reported distance of query `i`.
+    pub fn dist(&self, i: usize) -> Weight {
+        self.dists[i]
+    }
+
+    /// All reported distances, in query order.
+    pub fn dists(&self) -> &[Weight] {
+        &self.dists
+    }
+
+    /// Witness path of query `i` (`[u, ..., v]`; a single node for `u == v`;
+    /// empty only for unreachable pairs).
+    pub fn path(&self, i: usize) -> &[NodeId] {
+        &self.nodes[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Bytes held by the arena buffers.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.dists.len() * std::mem::size_of::<Weight>()
+            + self.offsets.len() * std::mem::size_of::<u32>()
+            + self.nodes.len() * std::mem::size_of::<NodeId>()) as u64
+    }
+}
+
+/// Landmark distance oracle with documented stretch [`ORACLE_STRETCH`]; see
+/// the [module docs](self) for the construction and the query contract.
+#[derive(Debug, Clone)]
+pub struct DistanceOracle {
+    n: usize,
+    /// Sorted landmark set; row `i` of `rows` belongs to `landmarks[i]`.
+    landmarks: Vec<NodeId>,
+    /// Exact `|L| × n` distance rows from every landmark.
+    rows: DistanceRows,
+    /// Flat `|L| × n` shortest-path forests (`NodeId::MAX` = no parent).
+    parents: Vec<NodeId>,
+    /// Per node: index (into `landmarks`) of the closest landmark.
+    anchor: Vec<u32>,
+    /// Per node: exact distance to its anchor.
+    anchor_dist: Vec<Weight>,
+    /// `n + 1` offsets into the ball arenas.
+    ball_start: Vec<u32>,
+    /// Ball members, sorted by node id within each ball.
+    ball_nodes: Vec<NodeId>,
+    /// Exact distance to each ball member, aligned with `ball_nodes`.
+    ball_dists: Vec<Weight>,
+    /// In-ball Dijkstra parent of each member, aligned with `ball_nodes`.
+    ball_parents: Vec<NodeId>,
+    query_chunk: usize,
+}
+
+/// Reusable scratch for the per-node bounded Dijkstra in ball construction.
+struct BallScratch {
+    dist: Vec<Weight>,
+    parent: Vec<NodeId>,
+    touched: Vec<NodeId>,
+    heap: BinaryHeap<Reverse<(Weight, NodeId)>>,
+}
+
+impl BallScratch {
+    fn new(n: usize) -> Self {
+        BallScratch {
+            dist: vec![INFINITY; n],
+            parent: vec![NodeId::MAX; n],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Dijkstra from `source`, truncated to the strict ball of `radius`:
+    /// returns `(node, dist, parent)` for every `w` with
+    /// `d(source, w) < radius`, sorted by node id.  All parent chains stay
+    /// inside the ball (any node on a shortest path to `w` is strictly
+    /// closer than `w`).
+    fn strict_ball(
+        &mut self,
+        graph: &Graph,
+        source: NodeId,
+        radius: Weight,
+    ) -> Vec<(NodeId, Weight, NodeId)> {
+        for &v in &self.touched {
+            self.dist[v as usize] = INFINITY;
+            self.parent[v as usize] = NodeId::MAX;
+        }
+        self.touched.clear();
+        self.heap.clear();
+        let mut members = Vec::new();
+        if radius == 0 {
+            return members;
+        }
+        self.dist[source as usize] = 0;
+        self.touched.push(source);
+        self.heap.push(Reverse((0, source)));
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            if d > self.dist[v as usize] {
+                continue; // stale heap entry
+            }
+            if d >= radius {
+                break; // every remaining entry is at least this far
+            }
+            members.push((v, d, self.parent[v as usize]));
+            for a in graph.arcs(v) {
+                let nd = d.saturating_add(a.weight);
+                if nd < self.dist[a.to as usize] && nd < radius {
+                    if self.dist[a.to as usize] == INFINITY {
+                        self.touched.push(a.to);
+                    }
+                    self.dist[a.to as usize] = nd;
+                    self.parent[a.to as usize] = v;
+                    self.heap.push(Reverse((nd, a.to)));
+                }
+            }
+        }
+        members.sort_unstable_by_key(|&(v, _, _)| v);
+        members
+    }
+}
+
+impl DistanceOracle {
+    /// Samples the landmark set deterministically from `config.seed` and
+    /// delegates to [`DistanceOracle::build_with_landmarks`].
+    pub fn build(graph: &Graph, config: OracleConfig) -> Result<Self, String> {
+        let n = graph.n();
+        if n == 0 {
+            return Err("oracle over an empty graph".to_string());
+        }
+        let want = if config.landmarks == 0 {
+            (n as f64).sqrt().ceil() as usize
+        } else {
+            config.landmarks
+        }
+        .clamp(1, n);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut all: Vec<NodeId> = (0..n as NodeId).collect();
+        all.shuffle(&mut rng);
+        all.truncate(want);
+        Self::build_with_landmarks_chunked(graph, &all, config.query_chunk)
+    }
+
+    /// Builds the oracle from an explicit landmark set — the hook for reusing
+    /// a source set whose rows a completed sweep / APSP run already chose
+    /// (e.g. the skeleton-node sample of Definition 6.2).  Landmarks are
+    /// deduplicated and sorted; at least one is required.
+    pub fn build_with_landmarks(graph: &Graph, landmarks: &[NodeId]) -> Result<Self, String> {
+        Self::build_with_landmarks_chunked(graph, landmarks, OracleConfig::default().query_chunk)
+    }
+
+    fn build_with_landmarks_chunked(
+        graph: &Graph,
+        landmarks: &[NodeId],
+        query_chunk: usize,
+    ) -> Result<Self, String> {
+        let n = graph.n();
+        let mut landmarks: Vec<NodeId> = landmarks.to_vec();
+        landmarks.sort_unstable();
+        landmarks.dedup();
+        if landmarks.is_empty() {
+            return Err("oracle needs at least one landmark".to_string());
+        }
+        if let Some(&bad) = landmarks.iter().find(|&&l| l as usize >= n) {
+            return Err(format!("landmark {bad} out of range for n = {n}"));
+        }
+
+        // The completed sweep: one exact Dijkstra per landmark, rows + forest.
+        let (rows, parents) = DistanceRows::compute_with_parents(graph, &landmarks);
+
+        // Routing labels: closest landmark (smallest row index on ties) and
+        // the exact offset to it.
+        let mut anchor = vec![0u32; n];
+        let mut anchor_dist = vec![INFINITY; n];
+        for (i, _) in landmarks.iter().enumerate() {
+            let row = rows.row(i);
+            for (v, &d) in row.iter().enumerate() {
+                if d < anchor_dist[v] {
+                    anchor_dist[v] = d;
+                    anchor[v] = i as u32;
+                }
+            }
+        }
+
+        // Strict balls, fanned out over the pool; chunk results are spliced
+        // back in node order, so the arenas are pool-width independent.
+        let balls: Vec<Vec<(NodeId, Weight, NodeId)>> = (0..n as NodeId)
+            .into_par_iter()
+            .map_init(
+                || BallScratch::new(n),
+                |scratch, u| scratch.strict_ball(graph, u, anchor_dist[u as usize]),
+            )
+            .with_min_len(64)
+            .collect();
+        let total: usize = balls.iter().map(Vec::len).sum();
+        let mut ball_start = Vec::with_capacity(n + 1);
+        let mut ball_nodes = Vec::with_capacity(total);
+        let mut ball_dists = Vec::with_capacity(total);
+        let mut ball_parents = Vec::with_capacity(total);
+        ball_start.push(0u32);
+        for ball in balls {
+            for (w, d, p) in ball {
+                ball_nodes.push(w);
+                ball_dists.push(d);
+                ball_parents.push(p);
+            }
+            ball_start.push(ball_nodes.len() as u32);
+        }
+
+        Ok(DistanceOracle {
+            n,
+            landmarks,
+            rows,
+            parents,
+            anchor,
+            anchor_dist,
+            ball_start,
+            ball_nodes,
+            ball_dists,
+            ball_parents,
+            query_chunk: query_chunk.max(1),
+        })
+    }
+
+    /// Number of nodes served.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The sorted landmark set.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Bytes held by the oracle's label and arena buffers — the serving-side
+    /// memory footprint.
+    pub fn memory_bytes(&self) -> u64 {
+        self.rows.memory_bytes()
+            + (self.parents.len() * std::mem::size_of::<NodeId>()
+                + self.anchor.len() * std::mem::size_of::<u32>()
+                + self.anchor_dist.len() * std::mem::size_of::<Weight>()
+                + self.ball_start.len() * std::mem::size_of::<u32>()
+                + self.ball_nodes.len() * std::mem::size_of::<NodeId>()
+                + self.ball_dists.len() * std::mem::size_of::<Weight>()
+                + self.ball_parents.len() * std::mem::size_of::<NodeId>()) as u64
+    }
+
+    /// Position of `w` inside `u`'s ball arena, if `w ∈ B(u)`.
+    fn ball_slot(&self, u: NodeId, w: NodeId) -> Option<usize> {
+        let lo = self.ball_start[u as usize] as usize;
+        let hi = self.ball_start[u as usize + 1] as usize;
+        self.ball_nodes[lo..hi]
+            .binary_search(&w)
+            .ok()
+            .map(|off| lo + off)
+    }
+
+    /// Distance from landmark `i` to `v`, straight from the sweep rows.
+    #[inline]
+    fn landmark_dist(&self, i: u32, v: NodeId) -> Weight {
+        self.rows.row(i as usize)[v as usize]
+    }
+
+    /// Answers a single distance query under the module-level contract:
+    /// exact when either endpoint lies in the other's ball, otherwise the
+    /// better via-anchor route (never an underestimate, at most
+    /// [`ORACLE_STRETCH`]` · d(u, v)` on connected graphs).
+    pub fn query(&self, u: NodeId, v: NodeId) -> Weight {
+        if u == v {
+            return 0;
+        }
+        if let Some(slot) = self.ball_slot(u, v) {
+            return self.ball_dists[slot];
+        }
+        if let Some(slot) = self.ball_slot(v, u) {
+            return self.ball_dists[slot];
+        }
+        let via_u = self.anchor_dist[u as usize]
+            .saturating_add(self.landmark_dist(self.anchor[u as usize], v));
+        let via_v = self.anchor_dist[v as usize]
+            .saturating_add(self.landmark_dist(self.anchor[v as usize], u));
+        via_u.min(via_v)
+    }
+
+    /// Walks `w` back to the ball owner `u` through the in-ball parent
+    /// chain, appending `w, ..., u` to `out` (reversed order).
+    fn push_ball_chain_rev(&self, u: NodeId, mut w: NodeId, out: &mut Vec<NodeId>) {
+        loop {
+            out.push(w);
+            if w == u {
+                return;
+            }
+            let slot = self.ball_slot(u, w).expect("chain stays inside the ball");
+            w = self.ball_parents[slot];
+        }
+    }
+
+    /// Walks `w` up to landmark number `i` through the sweep forest,
+    /// appending `w, ..., landmarks[i]` to `out` — the forward order of the
+    /// path from `w` to the landmark.
+    fn push_landmark_chain(&self, i: u32, mut w: NodeId, out: &mut Vec<NodeId>) {
+        let row = &self.parents[i as usize * self.n..(i as usize + 1) * self.n];
+        loop {
+            out.push(w);
+            let p = row[w as usize];
+            if p == NodeId::MAX {
+                return;
+            }
+            w = p;
+        }
+    }
+
+    /// Answers a distance-plus-witness-path query.  The returned node list
+    /// runs `u, ..., v`, every consecutive pair is an edge of the graph, and
+    /// the edge weights sum to exactly the returned distance.  The path is
+    /// empty only for unreachable pairs (`INFINITY`).
+    pub fn query_path(&self, u: NodeId, v: NodeId) -> (Weight, Vec<NodeId>) {
+        let mut nodes = Vec::new();
+        let d = self.query_path_into(u, v, &mut nodes);
+        (d, nodes)
+    }
+
+    /// Arena-friendly core of [`DistanceOracle::query_path`]: appends the
+    /// witness path to `out` and returns the distance.
+    fn query_path_into(&self, u: NodeId, v: NodeId, out: &mut Vec<NodeId>) -> Weight {
+        if u == v {
+            out.push(u);
+            return 0;
+        }
+        if let Some(slot) = self.ball_slot(u, v) {
+            let start = out.len();
+            self.push_ball_chain_rev(u, v, out);
+            out[start..].reverse();
+            return self.ball_dists[slot];
+        }
+        if let Some(slot) = self.ball_slot(v, u) {
+            // Chain u → v inside v's ball is already in forward order.
+            self.push_ball_chain_rev(v, u, out);
+            return self.ball_dists[slot];
+        }
+        let (au, av) = (self.anchor[u as usize], self.anchor[v as usize]);
+        let via_u = self.anchor_dist[u as usize].saturating_add(self.landmark_dist(au, v));
+        let via_v = self.anchor_dist[v as usize].saturating_add(self.landmark_dist(av, u));
+        if via_u == INFINITY && via_v == INFINITY {
+            return INFINITY;
+        }
+        // Tie-break towards the u-side route so the choice is deterministic.
+        let (i, near, far, d) = if via_u <= via_v {
+            (au, u, v, via_u)
+        } else {
+            (av, v, u, via_v)
+        };
+        // Walking up the forest from `near` visits `near, ..., a` — already
+        // the forward order of the first segment.  The far-side walk visits
+        // `far, ..., a`; drop its trailing duplicate anchor and reverse it in
+        // place to get `a's child, ..., far`.
+        let start = out.len();
+        self.push_landmark_chain(i, near, out);
+        let anchor_pos = out.len() - 1;
+        self.push_landmark_chain(i, far, out);
+        out.truncate(out.len() - 1); // the anchor was appended twice
+        out[anchor_pos + 1..].reverse();
+        if near != u {
+            out[start..].reverse(); // route was built v → u; flip it
+        }
+        d
+    }
+
+    /// Answers a batch of distance queries with rayon fan-out over
+    /// [`OracleConfig::query_chunk`]-sized chunks.  Output order matches the
+    /// input and is bit-identical for every pool width.
+    pub fn query_batch(&self, queries: &[(NodeId, NodeId)]) -> Vec<Weight> {
+        let chunk = self.query_chunk;
+        let nchunks = queries.len().div_ceil(chunk);
+        let per: Vec<Vec<Weight>> = (0..nchunks)
+            .into_par_iter()
+            .map(|ci| {
+                let lo = ci * chunk;
+                let hi = (lo + chunk).min(queries.len());
+                queries[lo..hi]
+                    .iter()
+                    .map(|&(u, v)| self.query(u, v))
+                    .collect()
+            })
+            .with_min_len(1)
+            .collect();
+        let mut out = Vec::with_capacity(queries.len());
+        for part in per {
+            out.extend(part);
+        }
+        out
+    }
+
+    /// Answers a batch of path queries.  Each parallel chunk fills its own
+    /// arena; the per-chunk arenas are spliced back in query order into one
+    /// [`PathBatch`], so the result is bit-identical for every pool width.
+    pub fn query_paths_batch(&self, queries: &[(NodeId, NodeId)]) -> PathBatch {
+        let chunk = self.query_chunk;
+        let nchunks = queries.len().div_ceil(chunk);
+        let per: Vec<(Vec<Weight>, Vec<u32>, Vec<NodeId>)> = (0..nchunks)
+            .into_par_iter()
+            .map(|ci| {
+                let lo = ci * chunk;
+                let hi = (lo + chunk).min(queries.len());
+                let mut dists = Vec::with_capacity(hi - lo);
+                let mut ends = Vec::with_capacity(hi - lo);
+                let mut nodes = Vec::new();
+                for &(u, v) in &queries[lo..hi] {
+                    dists.push(self.query_path_into(u, v, &mut nodes));
+                    ends.push(nodes.len() as u32);
+                }
+                (dists, ends, nodes)
+            })
+            .with_min_len(1)
+            .collect();
+        let mut batch = PathBatch {
+            dists: Vec::with_capacity(queries.len()),
+            offsets: Vec::with_capacity(queries.len() + 1),
+            nodes: Vec::new(),
+        };
+        batch.offsets.push(0);
+        for (dists, ends, nodes) in per {
+            let base = batch.nodes.len() as u32;
+            batch.dists.extend(dists);
+            batch.offsets.extend(ends.iter().map(|&e| base + e));
+            batch.nodes.extend(nodes);
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_graph::dijkstra::apsp_exact;
+    use hybrid_graph::generators;
+
+    fn check_paths(g: &Graph, oracle: &DistanceOracle, exact: &[Vec<Weight>]) {
+        for u in 0..g.n() as NodeId {
+            for v in 0..g.n() as NodeId {
+                let (d, path) = oracle.query_path(u, v);
+                assert_eq!(d, oracle.query(u, v), "({u},{v}): dist/path disagree");
+                let e = exact[u as usize][v as usize];
+                assert!(d >= e, "({u},{v}): {d} underestimates {e}");
+                assert!(
+                    d as f64 <= ORACLE_STRETCH * e as f64 + 1e-9,
+                    "({u},{v}): {d} exceeds stretch bound over {e}"
+                );
+                assert_eq!(path.first(), Some(&u), "({u},{v}): path start");
+                assert_eq!(path.last(), Some(&v), "({u},{v}): path end");
+                let mut total = 0u64;
+                for pair in path.windows(2) {
+                    let arc = g
+                        .arcs(pair[0])
+                        .iter()
+                        .find(|a| a.to == pair[1])
+                        .unwrap_or_else(|| {
+                            panic!("({u},{v}): {}-{} not an edge", pair[0], pair[1])
+                        });
+                    total += arc.weight;
+                }
+                assert_eq!(total, d, "({u},{v}): path weight vs reported distance");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_paths_through_landmark_balls() {
+        let g = generators::path(17).unwrap();
+        let oracle = DistanceOracle::build(&g, OracleConfig::default()).unwrap();
+        let exact = apsp_exact(&g);
+        check_paths(&g, &oracle, &exact);
+    }
+
+    #[test]
+    fn weighted_grid_within_stretch_and_landmark_queries_exact() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        let g = generators::weighted_grid(&[6, 7], 24, &mut rng).unwrap();
+        let oracle = DistanceOracle::build(&g, OracleConfig::default()).unwrap();
+        let exact = apsp_exact(&g);
+        check_paths(&g, &oracle, &exact);
+        // Either endpoint being a landmark forces an exact answer.
+        for &l in oracle.landmarks() {
+            for v in 0..g.n() as NodeId {
+                assert_eq!(oracle.query(l, v), exact[l as usize][v as usize]);
+                assert_eq!(oracle.query(v, l), exact[l as usize][v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn batches_agree_with_single_queries() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        let g = generators::weighted_grid(&[5, 9], 12, &mut rng).unwrap();
+        let oracle = DistanceOracle::build(
+            &g,
+            OracleConfig {
+                query_chunk: 7,
+                ..OracleConfig::default()
+            },
+        )
+        .unwrap();
+        let queries: Vec<(NodeId, NodeId)> = (0..200)
+            .map(|_| {
+                (
+                    rng.gen_range(0..g.n() as NodeId),
+                    rng.gen_range(0..g.n() as NodeId),
+                )
+            })
+            .collect();
+        let batch = oracle.query_batch(&queries);
+        let paths = oracle.query_paths_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        assert_eq!(paths.len(), queries.len());
+        for (i, &(u, v)) in queries.iter().enumerate() {
+            assert_eq!(batch[i], oracle.query(u, v));
+            let (d, path) = oracle.query_path(u, v);
+            assert_eq!(paths.dist(i), d);
+            assert_eq!(paths.path(i), path.as_slice());
+        }
+        assert!(paths.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn explicit_landmarks_and_degenerate_configs() {
+        let g = generators::cycle(12).unwrap();
+        // Every node a landmark → the oracle is exact everywhere.
+        let all: Vec<NodeId> = (0..12).collect();
+        let oracle = DistanceOracle::build_with_landmarks(&g, &all).unwrap();
+        let exact = apsp_exact(&g);
+        for u in 0..12u32 {
+            for v in 0..12u32 {
+                assert_eq!(oracle.query(u, v), exact[u as usize][v as usize]);
+            }
+        }
+        assert!(DistanceOracle::build_with_landmarks(&g, &[]).is_err());
+        assert!(DistanceOracle::build_with_landmarks(&g, &[99]).is_err());
+        assert!(oracle.memory_bytes() > 0);
+        assert_eq!(oracle.n(), 12);
+    }
+}

@@ -1,0 +1,212 @@
+//! Differential conformance suite for the query-serving [`DistanceOracle`].
+//!
+//! The oracle is cross-checked against the exact Dijkstra matrix
+//! ([`apsp_exact`]) on the same pinned instance grid the PR 8 registry
+//! shootout uses (`tests/conformance.rs`), so a break names the exact
+//! instance:
+//!
+//! * **distance** — every answer obeys `exact ≤ answer ≤ stretch · exact`
+//!   with the stretch the oracle documents ([`ORACLE_STRETCH`]), and is
+//!   *exactly* `exact` whenever either endpoint is a landmark;
+//! * **path validity** — every witness path starts at `u`, ends at `v`,
+//!   every consecutive pair is an edge of the graph, and the edge weights
+//!   sum to exactly the reported distance;
+//! * **determinism** — rebuilding from the same seed is bit-identical, and
+//!   batched answers are bit-identical across rayon pool widths `{1, 4, 8}`.
+
+use std::sync::Arc;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use hybrid_core::{DistanceOracle, OracleConfig, ORACLE_STRETCH};
+use hybrid_graph::dijkstra::apsp_exact;
+use hybrid_graph::{generators, Graph, NodeId, Weight};
+
+/// Same instance grid as `tests/conformance.rs`: one graph per family shape,
+/// small enough for the exact oracle.
+fn conformance_graphs() -> Vec<(&'static str, Arc<Graph>)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC0F0);
+    vec![
+        ("path-48", Arc::new(generators::path(48).unwrap())),
+        ("cycle-40", Arc::new(generators::cycle(40).unwrap())),
+        ("grid-8x8", Arc::new(generators::grid(&[8, 8]).unwrap())),
+        (
+            "tree-2-60",
+            Arc::new(generators::tree_with_n(2, 60).unwrap()),
+        ),
+        (
+            "er-56",
+            Arc::new(generators::erdos_renyi(56, 0.12, &mut rng).unwrap()),
+        ),
+    ]
+}
+
+/// Weighted variants, identical to the registry suite's weighting.
+fn weighted_conformance_graphs() -> Vec<(&'static str, Arc<Graph>)> {
+    conformance_graphs()
+        .into_iter()
+        .map(|(name, g)| {
+            let mut rng = ChaCha8Rng::seed_from_u64(0x11ED + name.len() as u64);
+            let w = generators::with_random_weights(&g, 32, &mut rng).unwrap();
+            (name, Arc::new(w))
+        })
+        .collect()
+}
+
+/// All instances the oracle suite runs on: unweighted and weighted grids.
+fn all_instances() -> Vec<(String, Arc<Graph>)> {
+    let mut out: Vec<(String, Arc<Graph>)> = conformance_graphs()
+        .into_iter()
+        .map(|(n, g)| (n.to_string(), g))
+        .collect();
+    out.extend(
+        weighted_conformance_graphs()
+            .into_iter()
+            .map(|(n, g)| (format!("{n}-weighted"), g)),
+    );
+    out
+}
+
+fn build(graph: &Graph) -> DistanceOracle {
+    DistanceOracle::build(graph, OracleConfig::default()).expect("oracle build")
+}
+
+/// Every (u, v) pair of the instance, in a fixed order.
+fn all_pairs(n: usize) -> Vec<(NodeId, NodeId)> {
+    let mut q = Vec::with_capacity(n * n);
+    for u in 0..n as NodeId {
+        for v in 0..n as NodeId {
+            q.push((u, v));
+        }
+    }
+    q
+}
+
+#[test]
+fn distances_stay_within_documented_stretch_of_exact_dijkstra() {
+    for (name, graph) in all_instances() {
+        let oracle = build(&graph);
+        let exact = apsp_exact(&graph);
+        for (u, v) in all_pairs(graph.n()) {
+            let a = oracle.query(u, v);
+            let e = exact[u as usize][v as usize];
+            assert!(
+                a >= e,
+                "{name}: ({u},{v}) answer {a} underestimates exact {e}"
+            );
+            assert!(
+                a as f64 <= ORACLE_STRETCH * e as f64 + 1e-9,
+                "{name}: ({u},{v}) answer {a} breaks stretch {ORACLE_STRETCH} over exact {e}"
+            );
+        }
+        for &l in oracle.landmarks() {
+            for v in 0..graph.n() as NodeId {
+                assert_eq!(
+                    oracle.query(l, v),
+                    exact[l as usize][v as usize],
+                    "{name}: landmark query ({l},{v}) must be exact"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn witness_paths_are_valid_walks_with_telescoping_weights() {
+    for (name, graph) in all_instances() {
+        let oracle = build(&graph);
+        let queries = all_pairs(graph.n());
+        let batch = oracle.query_paths_batch(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (i, &(u, v)) in queries.iter().enumerate() {
+            let d = batch.dist(i);
+            let path = batch.path(i);
+            assert_eq!(path.first(), Some(&u), "{name}: ({u},{v}) path start");
+            assert_eq!(path.last(), Some(&v), "{name}: ({u},{v}) path end");
+            let mut total: Weight = 0;
+            for pair in path.windows(2) {
+                let arc = graph
+                    .arcs(pair[0])
+                    .iter()
+                    .find(|a| a.to == pair[1])
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "{name}: ({u},{v}) step {}-{} is not an edge",
+                            pair[0], pair[1]
+                        )
+                    });
+                total += arc.weight;
+            }
+            assert_eq!(
+                total, d,
+                "{name}: ({u},{v}) path weight must equal the reported distance"
+            );
+        }
+    }
+}
+
+#[test]
+fn same_seed_rebuild_is_bit_identical() {
+    for (name, graph) in all_instances() {
+        let a = build(&graph);
+        let b = build(&graph);
+        assert_eq!(a.landmarks(), b.landmarks(), "{name}: landmark sample");
+        let queries = all_pairs(graph.n());
+        assert_eq!(
+            a.query_batch(&queries),
+            b.query_batch(&queries),
+            "{name}: rebuilt oracle must answer identically"
+        );
+    }
+}
+
+/// Everything a pool-width run produces: batch distances, path-batch
+/// distances, and the flattened witness paths.
+type PoolRunAnswers = (Vec<Weight>, Vec<Weight>, Vec<Vec<NodeId>>);
+
+#[test]
+fn batched_answers_are_pool_width_invariant() {
+    for (name, graph) in all_instances() {
+        let queries = all_pairs(graph.n());
+        let run_all = || {
+            let oracle = build(&graph);
+            let dists = oracle.query_batch(&queries);
+            let paths = oracle.query_paths_batch(&queries);
+            let flat_paths: Vec<Vec<NodeId>> =
+                (0..paths.len()).map(|i| paths.path(i).to_vec()).collect();
+            (dists, paths.dists().to_vec(), flat_paths)
+        };
+        let mut reference: Option<PoolRunAnswers> = None;
+        for threads in [1usize, 4, 8] {
+            let got = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool")
+                .install(run_all);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(
+                    want, &got,
+                    "{name}: batch answers diverged at pool width {threads}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_agrees_with_per_query_answers() {
+    for (name, graph) in all_instances() {
+        let oracle = build(&graph);
+        let queries = all_pairs(graph.n());
+        let batch = oracle.query_batch(&queries);
+        for (i, &(u, v)) in queries.iter().enumerate() {
+            assert_eq!(
+                batch[i],
+                oracle.query(u, v),
+                "{name}: batch answer ({u},{v}) diverges from the single query"
+            );
+        }
+    }
+}

@@ -42,6 +42,73 @@ use crate::csr::{Graph, NodeId, Weight, INFINITY};
 /// weights in `[1, 32]`.
 pub const DIAL_MAX_WEIGHT: Weight = 64;
 
+/// Upper bound on the bucket-ring size [`DijkstraWorkspace::run_dial`] will
+/// allocate (2²⁶ slots ≈ 1.5 GiB of empty `Vec` headers is already far past
+/// sensible).  A max weight at or beyond this bound makes the ring itself the
+/// dominant cost — and `(c + 1).next_power_of_two()` can overflow `usize`
+/// outright near `u64::MAX` — so `run_dial` falls back to the binary heap,
+/// which produces identical output.
+pub const DIAL_MAX_RING: usize = 1 << 26;
+
+/// Bucket-occupancy scan for the Dial ring: find the next non-empty bucket
+/// without walking the empty distance range one slot per iteration.
+///
+/// [`bucket_scan::first_nonzero`] dispatches to an explicit AVX2
+/// implementation (8 × `u32` lanes per compare) when the `simd` cargo feature
+/// is enabled and the CPU supports it; [`bucket_scan::first_nonzero_scalar`]
+/// is always compiled and is the fallback everywhere else.  Both return the
+/// index of the first non-zero entry, so they agree **bit for bit** on every
+/// input — pinned by the workspace proptest
+/// `dial_scan_simd_matches_scalar`.
+pub mod bucket_scan {
+    /// Index of the first non-zero bucket length, or `None` if all are zero.
+    #[inline]
+    pub fn first_nonzero(lens: &[u32]) -> Option<usize> {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 availability was just checked.
+            #[allow(unsafe_code)]
+            return unsafe { avx2::first_nonzero(lens) };
+        }
+        first_nonzero_scalar(lens)
+    }
+
+    /// Scalar reference for [`first_nonzero`]; always compiled.
+    #[inline]
+    pub fn first_nonzero_scalar(lens: &[u32]) -> Option<usize> {
+        lens.iter().position(|&l| l != 0)
+    }
+
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[allow(unsafe_code)]
+    mod avx2 {
+        use core::arch::x86_64::*;
+
+        /// Vectorized [`super::first_nonzero_scalar`]: compare 8 lengths per
+        /// step against zero, the movemask names the first non-zero lane.
+        ///
+        /// # Safety
+        /// The caller must have verified AVX2 support.
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn first_nonzero(lens: &[u32]) -> Option<usize> {
+            let n = lens.len();
+            let zero = _mm256_setzero_si256();
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let v = _mm256_loadu_si256(lens.as_ptr().add(i).cast::<__m256i>());
+                let eq = _mm256_cmpeq_epi32(v, zero);
+                let mask = _mm256_movemask_ps(_mm256_castsi256_ps(eq)) as u32;
+                let nonzero = !mask & 0xFF;
+                if nonzero != 0 {
+                    return Some(i + nonzero.trailing_zeros() as usize);
+                }
+                i += 8;
+            }
+            super::first_nonzero_scalar(&lens[i..]).map(|off| i + off)
+        }
+    }
+}
+
 /// Result of a single-source Dijkstra run.
 #[derive(Debug, Clone)]
 pub struct DijkstraResult {
@@ -133,6 +200,10 @@ pub struct DijkstraWorkspace {
     heap: BinaryHeap<Reverse<(Weight, NodeId)>>,
     /// Dial ring: `buckets[d % ring]` holds nodes with tentative distance `d`.
     buckets: Vec<Vec<NodeId>>,
+    /// Entry count per ring slot (kept in lockstep with `buckets` so the
+    /// next-occupied-bucket scan reads one flat `u32` array instead of
+    /// chasing `Vec` headers).
+    bucket_lens: Vec<u32>,
     queue: VecDeque<NodeId>,
 }
 
@@ -280,7 +351,11 @@ impl DijkstraWorkspace {
                 if self.is_visited(a.to) {
                     continue;
                 }
-                let nd = d + a.weight;
+                // Saturating: a near-`u64::MAX` path cannot wrap past zero
+                // and masquerade as a short one — it pins at `u64::MAX`,
+                // which is the `INFINITY` sentinel and never beats a real
+                // tentative distance.
+                let nd = d.saturating_add(a.weight);
                 if nd < self.dist[a.to as usize] {
                     if self.dist[a.to as usize] == INFINITY {
                         self.touched.push(a.to);
@@ -296,9 +371,30 @@ impl DijkstraWorkspace {
     /// Dial bucket-queue Dijkstra for integer weights `1..=c`: a circular
     /// array of `c + 1` buckets replaces the comparison heap, so each
     /// settle/relax is O(1).
+    ///
+    /// Between settle rounds the loop does **not** walk the (possibly long)
+    /// run of empty distance values one at a time: a per-slot occupancy
+    /// array (`bucket_lens`) is scanned with [`bucket_scan::first_nonzero`]
+    /// to jump straight to the next occupied bucket.  The jump is exact —
+    /// every pending entry has tentative distance in `[cur, cur + c]` and
+    /// `c < ring`, so the circular scan starting just after the current slot
+    /// meets the pending entries in increasing distance order and the settle
+    /// order (hence `dist`/`parent`) is bit-identical to the slot-by-slot
+    /// walk.
+    ///
+    /// Graphs whose maximum weight would demand a ring larger than
+    /// [`DIAL_MAX_RING`] fall back to [`Self::run_heap`] (identical output);
+    /// this also dodges the `usize` overflow in `next_power_of_two` that a
+    /// near-`u64::MAX` weight would otherwise trigger.
     pub fn run_dial(&mut self, graph: &Graph, source: NodeId) {
+        let c = graph.max_weight().max(1);
+        // Compare in u128: `c + 1` itself can overflow u64 and the
+        // subsequent `next_power_of_two` can overflow usize.
+        if c as u128 + 1 > DIAL_MAX_RING as u128 {
+            return self.run_heap(graph, source);
+        }
+        let c = c as usize;
         self.reset(graph.n());
-        let c = graph.max_weight().max(1) as usize;
         // Power-of-two ring ≥ c+1 so the slot index is a mask instead of a
         // hardware division in the relaxation loop.
         let ring = (c + 1).next_power_of_two();
@@ -306,15 +402,20 @@ impl DijkstraWorkspace {
         if self.buckets.len() < ring {
             self.buckets.resize_with(ring, Vec::new);
         }
+        if self.bucket_lens.len() < ring {
+            self.bucket_lens.resize(ring, 0);
+        }
         self.dist[source as usize] = 0;
         self.touched.push(source);
         self.buckets[0].push(source);
+        self.bucket_lens[0] = 1;
         let mut pending = 1usize;
         let mut cur: Weight = 0;
-        while pending > 0 {
+        loop {
             let slot = (cur as usize) & mask;
             // Settle every node whose tentative distance equals `cur`.
             while let Some(v) = self.buckets[slot].pop() {
+                self.bucket_lens[slot] -= 1;
                 pending -= 1;
                 if self.is_visited(v) || self.dist[v as usize] != cur {
                     continue; // stale entry superseded by a better relaxation
@@ -331,12 +432,32 @@ impl DijkstraWorkspace {
                         }
                         self.dist[a.to as usize] = nd;
                         self.parent[a.to as usize] = Some(v);
-                        self.buckets[(nd as usize) & mask].push(a.to);
+                        let target = (nd as usize) & mask;
+                        self.buckets[target].push(a.to);
+                        self.bucket_lens[target] += 1;
                         pending += 1;
                     }
                 }
             }
-            cur += 1;
+            if pending == 0 {
+                break;
+            }
+            // Jump to the next occupied bucket.  `1 ≤ nd − cur ≤ c < ring`
+            // for every push above, so no entry ever lands back in `slot`
+            // while it drains and the closest pending entry is within one
+            // lap of the ring.
+            let from = (slot + 1) & mask;
+            let next = match bucket_scan::first_nonzero(&self.bucket_lens[from..ring]) {
+                Some(off) => from + off,
+                None => bucket_scan::first_nonzero(&self.bucket_lens[..from])
+                    .expect("pending > 0 implies an occupied bucket"),
+            };
+            let delta = if next > slot {
+                next - slot
+            } else {
+                ring - slot + next
+            };
+            cur += delta as Weight;
         }
     }
 }
@@ -655,5 +776,70 @@ mod tests {
     fn apsp_hops_matches_weighted_on_unweighted_graph() {
         let g = generators::tree_balanced(2, 3).unwrap();
         assert_eq!(apsp_exact(&g), apsp_hops_exact(&g));
+    }
+
+    /// Regression: a relaxation can leave a *stale* entry in a later bucket
+    /// (node 2 first reached at distance 5 via 0-2, then improved to 2 via
+    /// 0-1-2).  The skip-scan must still visit that trailing bucket to drain
+    /// the stale entry — otherwise `pending` never reaches zero — and a
+    /// subsequent run on the same workspace must start from clean occupancy
+    /// counts.
+    #[test]
+    fn dial_drains_trailing_stale_entries() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 2, 5).unwrap();
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 2, 1).unwrap();
+        let g = b.build().unwrap();
+        let mut ws = DijkstraWorkspace::new();
+        ws.run_dial(&g, 0);
+        assert_eq!(ws.dist(), &[0, 1, 2]);
+        assert_eq!(ws.dist(), dijkstra_heap(&g, 0).dist.as_slice());
+        assert!(ws.bucket_lens.iter().all(|&l| l == 0));
+        assert!(ws.buckets.iter().all(Vec::is_empty));
+        // Reuse: the ring state left behind must not poison the next run.
+        ws.run_dial(&g, 2);
+        assert_eq!(ws.dist(), &[2, 1, 0]);
+    }
+
+    /// Regression: near-`u64::MAX` weights used to overflow both the Dial
+    /// ring computation (`(c + 1).next_power_of_two()` as `usize`) and the
+    /// heap relaxation (`d + a.weight`).  Dial now falls back to the heap for
+    /// rings beyond [`DIAL_MAX_RING`], and the heap saturates into the
+    /// `INFINITY` sentinel instead of wrapping.
+    #[test]
+    fn dial_falls_back_to_heap_on_huge_weights() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, u64::MAX - 1).unwrap();
+        b.add_edge(1, 2, u64::MAX - 1).unwrap();
+        let g = b.build().unwrap();
+        let mut ws = DijkstraWorkspace::new();
+        ws.run_dial(&g, 0);
+        // Two near-MAX edges saturate: node 2 is indistinguishable from
+        // unreachable under u64 weights, and must NOT wrap around to a tiny
+        // finite distance.
+        assert_eq!(ws.dist(), &[0, u64::MAX - 1, INFINITY]);
+        assert_eq!(ws.dist(), dijkstra_heap(&g, 0).dist.as_slice());
+        // No ring of astronomical size was allocated by the fallback.
+        assert!(ws.buckets.len() <= DIAL_MAX_RING);
+    }
+
+    #[test]
+    fn bucket_scan_finds_first_nonzero() {
+        use super::bucket_scan::{first_nonzero, first_nonzero_scalar};
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![3],
+            vec![0; 100],
+            vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7],
+            vec![1, 0, 0],
+            (0..97).map(|i| u32::from(i == 96)).collect(),
+        ];
+        for lens in &cases {
+            let expect = lens.iter().position(|&l| l != 0);
+            assert_eq!(first_nonzero_scalar(lens), expect);
+            assert_eq!(first_nonzero(lens), expect, "dispatch diverged on {lens:?}");
+        }
     }
 }

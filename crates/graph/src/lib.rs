@@ -25,7 +25,12 @@
 //! All randomised constructions take an explicit [`rand::Rng`] so that every
 //! experiment in the repository is reproducible from a seed.
 
-#![forbid(unsafe_code)]
+// The default build carries no unsafe code at all; the `simd` feature opts
+// into one audited `#[allow(unsafe_code)]` module of AVX2 intrinsics (the
+// Dial bucket-occupancy scan in [`dijkstra::bucket_scan`]) and keeps
+// everything else denied.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod balls;

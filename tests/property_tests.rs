@@ -307,6 +307,88 @@ proptest! {
         prop_assert_eq!(blocked, minplus::compose(&matrix, &coeffs, &assign, &init_refs));
     }
 
+    /// The dispatched (min,+) fold kernels (SIMD when the `simd` feature and
+    /// AVX2 are available, scalar otherwise) agree **bit for bit** with the
+    /// always-compiled scalar references on random saturating inputs —
+    /// INFINITY runs, `u64::MAX − k` near-saturation values and ordinary
+    /// finite weights in one accumulator.
+    #[test]
+    fn minplus_fold_kernels_dispatch_equals_scalar(
+        acc0 in prop::collection::vec(
+            (0u8..6, 0u64..500).prop_map(|(sel, f)| match sel {
+                0 => INFINITY,
+                1 => u64::MAX - 1,
+                2 => u64::MAX - 1 - (f % 100),
+                _ => f,
+            }),
+            1..300,
+        ),
+        rows_seed in any::<u64>(),
+        base in (0u8..6, 0u64..500).prop_map(|(sel, f)| match sel {
+            0 => INFINITY,
+            1 => u64::MAX - 1,
+            2 => 0,
+            _ => f,
+        }),
+    ) {
+        use hybrid::core::minplus::kernel;
+        use rand::Rng;
+        let n = acc0.len();
+        let mut rng = ChaCha8Rng::seed_from_u64(rows_seed);
+        let mut row = || -> Vec<u64> {
+            (0..n)
+                .map(|_| match rng.gen_range(0..6u8) {
+                    0 => INFINITY,
+                    1 => u64::MAX - rng.gen_range(0..3u64),
+                    _ => rng.gen_range(0..500u64),
+                })
+                .collect()
+        };
+        let (r0, r1, r2, r3) = (row(), row(), row(), row());
+        // Single-row fold: dispatch vs scalar.
+        let mut got = acc0.clone();
+        kernel::fold_min_sat(&mut got, &r0, base);
+        let mut want = acc0.clone();
+        kernel::fold_min_sat_scalar(&mut want, &r0, base);
+        prop_assert_eq!(&got, &want);
+        // Quad fold: dispatch vs scalar, same four rows and bases.
+        let bases = [base, 0, u64::MAX - 1, base.wrapping_add(1)];
+        let mut got_q = acc0.clone();
+        kernel::fold_min_sat_quad(&mut got_q, [&r0, &r1, &r2, &r3], bases);
+        let mut want_q = acc0.clone();
+        kernel::fold_min_sat_quad_scalar(&mut want_q, [&r0, &r1, &r2, &r3], bases);
+        prop_assert_eq!(&got_q, &want_q);
+        // The quad fold is also exactly four single folds.
+        let mut fold4 = acc0.clone();
+        for (r, b) in [(&r0, bases[0]), (&r1, bases[1]), (&r2, bases[2]), (&r3, bases[3])] {
+            kernel::fold_min_sat_scalar(&mut fold4, r, b);
+        }
+        prop_assert_eq!(got_q, fold4);
+    }
+
+    /// The Dial bucket-occupancy scan (SIMD-dispatched) finds exactly the
+    /// same first non-empty slot as the scalar reference on random occupancy
+    /// arrays, including long zero runs and all-zero inputs.
+    #[test]
+    fn dial_scan_simd_matches_scalar(
+        lens in prop::collection::vec(
+            (0u8..7, 1u32..50).prop_map(|(sel, v)| if sel < 6 { 0 } else { v }),
+            0..300,
+        ),
+    ) {
+        use hybrid::graph::dijkstra::bucket_scan;
+        let want = lens.iter().position(|&l| l != 0);
+        prop_assert_eq!(bucket_scan::first_nonzero_scalar(&lens), want);
+        prop_assert_eq!(bucket_scan::first_nonzero(&lens), want);
+        // Every suffix too — the run_dial loop scans from arbitrary offsets.
+        for off in [1usize, 3, 7, 8, 9, 31] {
+            if off <= lens.len() {
+                let tail = &lens[off..];
+                prop_assert_eq!(bucket_scan::first_nonzero(tail), tail.iter().position(|&l| l != 0));
+            }
+        }
+    }
+
     /// Distance quantization keeps labels within [d, (1+eps)d].
     #[test]
     fn quantization_bounds(d in 0u64..1_000_000_000, eps in 0.01f64..2.0) {
@@ -594,6 +676,53 @@ proptest! {
             prop_assert_eq!(rows.row(i), &full[s as usize][..]);
         }
         prop_assert_eq!(rows.memory_bytes(), (sources.len() * graph.n() * 8 + sources.len() * 4) as u64);
+    }
+
+    /// Serving layer: on random weighted graphs, random query batches answer
+    /// exactly what the per-query entry point answers, every answer respects
+    /// the documented stretch against exact Dijkstra, and every witness path
+    /// telescopes to its reported distance.
+    #[test]
+    fn oracle_batches_agree_with_single_queries(
+        graph in arbitrary_graph(),
+        max_w in 1u64..40,
+        wseed in any::<u64>(),
+        qseed in any::<u64>(),
+    ) {
+        use hybrid::core::oracle::{DistanceOracle, OracleConfig, ORACLE_STRETCH};
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(wseed);
+        let weighted =
+            hybrid::graph::generators::with_random_weights(&graph, max_w, &mut rng).unwrap();
+        let n = weighted.n() as u32;
+        let oracle = DistanceOracle::build(
+            &weighted,
+            OracleConfig { query_chunk: 13, ..OracleConfig::default() },
+        ).unwrap();
+        let mut qrng = ChaCha8Rng::seed_from_u64(qseed);
+        let queries: Vec<(u32, u32)> = (0..64)
+            .map(|_| (qrng.gen_range(0..n), qrng.gen_range(0..n)))
+            .collect();
+        let batch = oracle.query_batch(&queries);
+        let paths = oracle.query_paths_batch(&queries);
+        let exact = hybrid::graph::dijkstra::apsp_exact(&weighted);
+        for (i, &(u, v)) in queries.iter().enumerate() {
+            prop_assert_eq!(batch[i], oracle.query(u, v));
+            prop_assert_eq!(paths.dist(i), batch[i]);
+            let e = exact[u as usize][v as usize];
+            prop_assert!(batch[i] >= e, "({}, {}) underestimated", u, v);
+            prop_assert!(batch[i] as f64 <= ORACLE_STRETCH * e as f64 + 1e-9);
+            let path = paths.path(i);
+            prop_assert_eq!(path.first(), Some(&u));
+            prop_assert_eq!(path.last(), Some(&v));
+            let mut total = 0u64;
+            for pair in path.windows(2) {
+                let arc = weighted.arcs(pair[0]).iter().find(|a| a.to == pair[1]);
+                prop_assert!(arc.is_some(), "({}, {}) non-edge step", pair[0], pair[1]);
+                total += arc.unwrap().weight;
+            }
+            prop_assert_eq!(total, batch[i]);
+        }
     }
 }
 
