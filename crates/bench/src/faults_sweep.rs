@@ -37,8 +37,9 @@ use serde::Serialize;
 
 use hybrid_core::dissemination::{k_dissemination, place_tokens};
 use hybrid_core::nq::NqOracle;
+use hybrid_sim::engine::{Executor, NodeProgram};
 use hybrid_sim::programs::AckFloodProgram;
-use hybrid_sim::{engine::Executor, FaultPlan, FaultSpec, HybridNetwork, ModelParams};
+use hybrid_sim::{EngineConfig, FaultPlan, FaultSpec, HybridNetwork, ModelParams};
 
 use crate::scenarios::GraphFamily;
 
@@ -249,7 +250,11 @@ fn run_ack_flood(
     max_rounds: u64,
 ) -> AckRun {
     let n = graph.n();
-    let mut exec = Executor::new(graph, params, |v| {
+    let mut config = EngineConfig::new(params);
+    if let Some(plan) = plan {
+        config = config.with_fault_plan(plan.clone());
+    }
+    let mut exec = Executor::with_config(graph, config, |v| {
         let stride = (n / k).max(1) as u32;
         let initial = if v % stride == 0 && (v / stride) < k as u32 {
             vec![(v / stride) as u64]
@@ -258,10 +263,10 @@ fn run_ack_flood(
         };
         AckFloodProgram::new(initial, k, 2)
     });
-    if let Some(plan) = plan {
-        exec.set_fault_plan(plan.clone());
-    }
-    let report = exec.run(max_rounds);
+    // A truncated run is a legitimate data point here (heavy-drop cells are
+    // *expected* to miss the horizon), so use the bounded-window entry point
+    // and record `completed` instead of treating the cap as an error.
+    let report = exec.run_capped(max_rounds, |ps| ps.iter().all(|p| p.done()));
     AckRun {
         rounds: report.rounds,
         local_messages: report.local_messages,
@@ -321,8 +326,8 @@ pub fn fault_sweep_rows(families: &[GraphFamily], config: &FaultSweepConfig) -> 
                         run_ack_flood(&graph, params, k, Some(&plan), config.max_rounds)
                     };
 
-                    let mut net = HybridNetwork::new(Arc::clone(&graph), params);
-                    net.set_fault_plan(plan);
+                    let net_config = EngineConfig::new(params).with_fault_plan(plan);
+                    let mut net = HybridNetwork::with_config(Arc::clone(&graph), &net_config);
                     let diss = k_dissemination(&mut net, &oracle, &tokens);
 
                     FaultSweepRow {

@@ -1,0 +1,574 @@
+//! The driver side of the networked runtime: spawns one `hybrid-node`
+//! process per node, distributes the scenario over `Init` frames, and runs
+//! the lock-step round barrier.
+//!
+//! # Conformance by construction
+//!
+//! The driver replicates the in-process engine's routing rule *exactly*, so
+//! its per-round delivered-message traces diff bit-for-bit against
+//! [`Executor`](hybrid_sim::engine::Executor) runs:
+//!
+//! 1. outboxes are staged in node-id order, each message tagged with a
+//!    running per-plane sequence number (the engine's staging order),
+//! 2. the staged batch is sorted by `(destination, sequence)` — the unique
+//!    key makes the order deterministic,
+//! 3. the γ *receive* cap truncates each destination's global inbox in that
+//!    order, counting the excess as dropped (the γ *send* cap was already
+//!    enforced inside the node process by the genuine `NodeCtx`),
+//! 4. the round counter, message accounting and the typed
+//!    [`EngineError::RoundLimitExceeded`] mirror `Executor::run`.
+//!
+//! Fault plans are rejected: the networked runtime has no fault injector
+//! (ROADMAP: faults stay an in-process feature for now).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use hybrid_sim::engine::RunReport;
+use hybrid_sim::envelope::body_json;
+use hybrid_sim::{EngineError, Envelope, RoundTrace, TraceEntry};
+use serde::Value;
+
+use crate::protocol::{read_frame, write_frame, FromNode, ToNode};
+use crate::scenario::{EngineOutcome, Scenario};
+
+/// How long the driver waits for a node frame before declaring the fleet
+/// wedged.  Generous — scenario rounds are milliseconds; this only guards
+/// against a hung or dead child.
+const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// How the driver talks to its node processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Frames over the child's stdin/stdout pipes.
+    Stdio,
+    /// Frames over loopback TCP; children connect back to the driver.
+    Tcp,
+}
+
+impl Transport {
+    /// Parses the CLI spelling (`stdio` / `tcp`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "stdio" => Ok(Transport::Stdio),
+            "tcp" => Ok(Transport::Tcp),
+            other => Err(format!("unknown transport `{other}` (want stdio or tcp)")),
+        }
+    }
+}
+
+/// Result of a networked execution — same shape as the in-process
+/// [`EngineOutcome`], so the two diff directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetOutcome {
+    /// Accounting of the run (node-process refusals and driver routing).
+    pub report: RunReport,
+    /// Per-round delivered messages (empty unless the config records traces).
+    pub trace: Vec<RoundTrace>,
+    /// Per-node final state summaries, indexed by node id.
+    pub states: Vec<Value>,
+}
+
+/// Failure of a networked run.
+#[derive(Debug)]
+pub enum DriverError {
+    /// An I/O failure talking to a node process.
+    Io(io::Error),
+    /// A node violated the protocol (wrong round, forged sender, bad frame).
+    Protocol(String),
+    /// The engine-level typed failure — currently only the round cap,
+    /// mirrored exactly from the in-process engine.
+    Engine(EngineError),
+}
+
+impl From<io::Error> for DriverError {
+    fn from(e: io::Error) -> Self {
+        DriverError::Io(e)
+    }
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Io(e) => write!(f, "node i/o failed: {e}"),
+            DriverError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            DriverError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+fn proto(msg: impl Into<String>) -> DriverError {
+    DriverError::Protocol(msg.into())
+}
+
+/// One node's step output as the driver stores it between barrier phases.
+struct StepOut {
+    local: Vec<Envelope<Value>>,
+    global: Vec<Envelope<Value>>,
+    refused: u64,
+    done: bool,
+}
+
+/// The spawned node processes plus the channels to talk to them.  Dropping
+/// the fleet kills any children still running (the success path halts them
+/// cleanly first, so the kill is a no-op there).
+struct Fleet {
+    children: Vec<Child>,
+    writers: Vec<Box<dyn Write + Send>>,
+    rx: mpsc::Receiver<Result<FromNode, String>>,
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Forwards every frame a node sends into the driver's single inbox; the
+/// sender id rides inside the frames themselves.
+fn spawn_reader(reader: impl Read + Send + 'static, tx: mpsc::Sender<Result<FromNode, String>>) {
+    thread::spawn(move || {
+        let mut reader = io::BufReader::new(reader);
+        loop {
+            match read_frame::<FromNode>(&mut reader) {
+                Ok(Some(msg)) => {
+                    if tx.send(Ok(msg)).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    let _ = tx.send(Err(format!("node stream failed: {e}")));
+                    return;
+                }
+            }
+        }
+    });
+}
+
+fn spawn_fleet(n: usize, transport: Transport, node_bin: &Path) -> Result<Fleet, DriverError> {
+    let (tx, rx) = mpsc::channel();
+    let mut children = Vec::with_capacity(n);
+    let mut writers: Vec<Box<dyn Write + Send>> = Vec::with_capacity(n);
+    match transport {
+        Transport::Stdio => {
+            for _ in 0..n {
+                let mut child = Command::new(node_bin)
+                    .arg("stdio")
+                    .stdin(Stdio::piped())
+                    .stdout(Stdio::piped())
+                    .stderr(Stdio::inherit())
+                    .spawn()?;
+                let stdin = child.stdin.take().expect("piped stdin");
+                let stdout = child.stdout.take().expect("piped stdout");
+                spawn_reader(stdout, tx.clone());
+                writers.push(Box::new(stdin));
+                children.push(child);
+            }
+        }
+        Transport::Tcp => {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            let addr = listener.local_addr()?;
+            for _ in 0..n {
+                let child = Command::new(node_bin)
+                    .arg("--connect")
+                    .arg(addr.to_string())
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::inherit())
+                    .spawn()?;
+                children.push(child);
+            }
+            // Accept order is arbitrary: identity is assigned by the Init
+            // frame the driver sends on each connection, not by who
+            // connected first.
+            for _ in 0..n {
+                let (stream, _) = listener.accept()?;
+                stream.set_nodelay(true).ok();
+                let read_half: TcpStream = stream.try_clone()?;
+                spawn_reader(read_half, tx.clone());
+                writers.push(Box::new(stream));
+            }
+        }
+    }
+    Ok(Fleet {
+        children,
+        writers,
+        rx,
+    })
+}
+
+/// Waits for exactly one `RoundOut` of the given round from every node.
+fn collect_round(
+    rx: &mpsc::Receiver<Result<FromNode, String>>,
+    n: usize,
+    round: u64,
+) -> Result<Vec<StepOut>, DriverError> {
+    let mut slots: Vec<Option<StepOut>> = (0..n).map(|_| None).collect();
+    let mut missing = n;
+    while missing > 0 {
+        let msg = rx
+            .recv_timeout(RECV_TIMEOUT)
+            .map_err(|_| proto(format!("timed out waiting for round {round} outputs")))?
+            .map_err(DriverError::Protocol)?;
+        match msg {
+            FromNode::RoundOut {
+                node,
+                round: r,
+                local,
+                global,
+                refused,
+                done,
+            } => {
+                if r != round {
+                    return Err(proto(format!(
+                        "node {node} answered round {r} during round {round}"
+                    )));
+                }
+                let v = node as usize;
+                if v >= n {
+                    return Err(proto(format!("RoundOut from out-of-range node {node}")));
+                }
+                if slots[v].is_some() {
+                    return Err(proto(format!("duplicate RoundOut from node {node}")));
+                }
+                for env in local.iter().chain(global.iter()) {
+                    if env.src != node {
+                        return Err(proto(format!(
+                            "node {node} forged an envelope from {}",
+                            env.src
+                        )));
+                    }
+                    if (env.dst as usize) >= n {
+                        return Err(proto(format!(
+                            "node {node} addressed out-of-range node {}",
+                            env.dst
+                        )));
+                    }
+                }
+                slots[v] = Some(StepOut {
+                    local,
+                    global,
+                    refused,
+                    done,
+                });
+                missing -= 1;
+            }
+            FromNode::Halted { node, .. } => {
+                return Err(proto(format!("unexpected Halted from node {node}")));
+            }
+        }
+    }
+    Ok(slots.into_iter().map(|s| s.expect("slot filled")).collect())
+}
+
+/// The engine's routing rule over envelopes: stage in node-id order with a
+/// running sequence number, sort by `(destination, sequence)`, apply the
+/// receive cap per destination in that order.  Returns per-destination
+/// inboxes plus `(delivered, dropped)` counts.
+fn route_plane(
+    outboxes: Vec<Vec<Envelope<Value>>>,
+    n: usize,
+    receive_cap: Option<usize>,
+) -> (Vec<Vec<Envelope<Value>>>, u64, u64) {
+    let mut staged: Vec<(u32, u32, Envelope<Value>)> = Vec::new();
+    for outbox in outboxes {
+        for env in outbox {
+            let seq = staged.len() as u32;
+            staged.push((env.dst, seq, env));
+        }
+    }
+    staged.sort_unstable_by_key(|&(dst, seq, _)| (dst, seq));
+    let mut inboxes: Vec<Vec<Envelope<Value>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut delivered = 0u64;
+    let mut dropped = 0u64;
+    for (dst, _, env) in staged {
+        let inbox = &mut inboxes[dst as usize];
+        if receive_cap.is_some_and(|cap| inbox.len() >= cap) {
+            dropped += 1;
+        } else {
+            inbox.push(env);
+            delivered += 1;
+        }
+    }
+    (inboxes, delivered, dropped)
+}
+
+/// Snapshots one round's delivered envelopes in the engine's trace order
+/// (destination-major, then staging sequence — exactly how `route_plane`
+/// left them).
+fn trace_round(
+    round: u64,
+    local: &[Vec<Envelope<Value>>],
+    global: &[Vec<Envelope<Value>>],
+) -> RoundTrace {
+    let collect = |inboxes: &[Vec<Envelope<Value>>]| {
+        inboxes
+            .iter()
+            .flatten()
+            .map(|env| TraceEntry {
+                src: env.src,
+                dst: env.dst,
+                body: body_json(&env.body),
+            })
+            .collect()
+    };
+    RoundTrace {
+        round,
+        local: collect(local),
+        global: collect(global),
+    }
+}
+
+/// Sends `Halt` everywhere and collects one `Halted` state per node.
+fn halt_fleet(fleet: &mut Fleet, n: usize) -> Result<Vec<Value>, DriverError> {
+    for writer in &mut fleet.writers {
+        write_frame(writer, &ToNode::Halt)?;
+    }
+    let mut states = vec![Value::Null; n];
+    let mut seen = vec![false; n];
+    let mut missing = n;
+    while missing > 0 {
+        let msg = fleet
+            .rx
+            .recv_timeout(RECV_TIMEOUT)
+            .map_err(|_| proto("timed out waiting for Halted states".to_string()))?
+            .map_err(DriverError::Protocol)?;
+        match msg {
+            FromNode::Halted { node, state } => {
+                let v = node as usize;
+                if v >= n || seen[v] {
+                    return Err(proto(format!("unexpected Halted from node {node}")));
+                }
+                seen[v] = true;
+                states[v] = state;
+                missing -= 1;
+            }
+            FromNode::RoundOut { node, .. } => {
+                return Err(proto(format!("late RoundOut from node {node}")));
+            }
+        }
+    }
+    Ok(states)
+}
+
+/// Runs a scenario across real node processes and returns the outcome.
+///
+/// # Errors
+/// [`DriverError::Engine`] with the same [`EngineError::RoundLimitExceeded`]
+/// the in-process engine produces when the round cap is exhausted;
+/// [`DriverError::Protocol`] if the scenario carries a fault plan (not
+/// supported over the wire) or a node misbehaves; [`DriverError::Io`] on
+/// transport failures.
+pub fn run_scenario(
+    scenario: &Scenario,
+    transport: Transport,
+    node_bin: &Path,
+) -> Result<NetOutcome, DriverError> {
+    let config = &scenario.config;
+    if config.fault_plan().is_some() {
+        return Err(proto(
+            "fault plans are not supported by the networked runtime; run fault scenarios in-process",
+        ));
+    }
+    let graph = scenario.graph.build();
+    let n = graph.n();
+    let params = *config.params();
+    assert_eq!(params.n, n, "scenario params must match the graph size");
+    let gamma = params.global_capacity_msgs;
+    let record_trace = config.record_trace();
+
+    let mut fleet = spawn_fleet(n, transport, node_bin)?;
+
+    // Distribute the scenario.
+    for v in 0..n {
+        let init = ToNode::Init {
+            node: v as u32,
+            n,
+            neighbors: graph.neighbors(v as u32).collect(),
+            params,
+            seed: config.seed(),
+            program: scenario.program.clone(),
+        };
+        write_frame(&mut fleet.writers[v], &init)?;
+    }
+
+    let mut report = RunReport {
+        rounds: 0,
+        local_messages: 0,
+        global_messages: 0,
+        dropped_global: 0,
+        refused_sends: 0,
+        injected_drops: 0,
+        injected_duplicates: 0,
+        injected_delays: 0,
+        completed: false,
+    };
+    let mut trace: Vec<RoundTrace> = Vec::new();
+
+    // Init pass (round 0), mirroring the engine: route, account, trace,
+    // then check the stop condition.
+    let outs = collect_round(&fleet.rx, n, 0)?;
+    let mut all_done = outs.iter().all(|o| o.done);
+    report.refused_sends += outs.iter().map(|o| o.refused).sum::<u64>();
+    let (locals, globals): (Vec<_>, Vec<_>) = outs.into_iter().map(|o| (o.local, o.global)).unzip();
+    let (mut local_in, delivered, _) = route_plane(locals, n, None);
+    report.local_messages += delivered;
+    let (mut global_in, delivered, dropped) = route_plane(globals, n, Some(gamma));
+    report.global_messages += delivered;
+    report.dropped_global += dropped;
+    if record_trace {
+        trace.push(trace_round(0, &local_in, &global_in));
+    }
+
+    if !all_done {
+        let mut completed = false;
+        for round in 1..=config.max_rounds() {
+            report.rounds = round;
+            for (v, writer) in fleet.writers.iter_mut().enumerate() {
+                let barrier = ToNode::Round {
+                    round,
+                    local: std::mem::take(&mut local_in[v]),
+                    global: std::mem::take(&mut global_in[v]),
+                };
+                write_frame(writer, &barrier)?;
+            }
+            let outs = collect_round(&fleet.rx, n, round)?;
+            all_done = outs.iter().all(|o| o.done);
+            report.refused_sends += outs.iter().map(|o| o.refused).sum::<u64>();
+            let (l, g): (Vec<_>, Vec<_>) = outs.into_iter().map(|o| (o.local, o.global)).unzip();
+            let (li, delivered, _) = route_plane(l, n, None);
+            report.local_messages += delivered;
+            let (gi, delivered, dropped) = route_plane(g, n, Some(gamma));
+            report.global_messages += delivered;
+            report.dropped_global += dropped;
+            local_in = li;
+            global_in = gi;
+            if record_trace {
+                trace.push(trace_round(round, &local_in, &global_in));
+            }
+            if all_done {
+                completed = true;
+                break;
+            }
+        }
+        if !completed {
+            // Same typed truncation as `Executor::run` — halt the fleet
+            // cleanly first so no child is left blocking on a barrier.
+            let _ = halt_fleet(&mut fleet, n);
+            return Err(DriverError::Engine(EngineError::RoundLimitExceeded {
+                limit: config.max_rounds(),
+                report,
+            }));
+        }
+    }
+    report.completed = true;
+
+    let states = halt_fleet(&mut fleet, n)?;
+    for (v, child) in fleet.children.iter_mut().enumerate() {
+        let status = child.wait()?;
+        if !status.success() {
+            return Err(proto(format!("node process {v} exited with {status}")));
+        }
+    }
+    fleet.children.clear();
+    Ok(NetOutcome {
+        report,
+        trace,
+        states,
+    })
+}
+
+/// Diffs a networked outcome against the in-process reference.  `Ok(())`
+/// means bit-identical: same report, same per-round delivered-message
+/// traces (order included), same final states.
+pub fn conformance_diff(engine: &EngineOutcome, net: &NetOutcome) -> Result<(), String> {
+    if engine.report != net.report {
+        return Err(format!(
+            "run reports diverge:\n  engine: {:?}\n  net:    {:?}",
+            engine.report, net.report
+        ));
+    }
+    if engine.trace.len() != net.trace.len() {
+        return Err(format!(
+            "trace lengths diverge: engine {} rounds, net {} rounds",
+            engine.trace.len(),
+            net.trace.len()
+        ));
+    }
+    for (e, a) in engine.trace.iter().zip(&net.trace) {
+        if e != a {
+            return Err(format!(
+                "round {} trace diverges:\n  engine: {:?}\n  net:    {:?}",
+                e.round, e, a
+            ));
+        }
+    }
+    if engine.states != net.states {
+        for (v, (e, a)) in engine.states.iter().zip(&net.states).enumerate() {
+            if e != a {
+                return Err(format!(
+                    "node {v} final state diverges:\n  engine: {e:?}\n  net:    {a:?}"
+                ));
+            }
+        }
+        return Err("state vectors diverge in length".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `route_plane` must reproduce the engine's arena semantics: sort by
+    /// `(destination, staging sequence)` with the receive cap applied per
+    /// destination in that order.
+    #[test]
+    fn route_plane_matches_arena_semantics() {
+        let env = |src: u32, dst: u32| Envelope {
+            src,
+            dst,
+            round: 1,
+            body: Value::UInt(u64::from(src) * 100 + u64::from(dst)),
+        };
+        // Node-id-ordered outboxes: node 0 sends to 2, 0→0, node 1 sends
+        // to 2, node 2 sends to 2, 2→0.
+        let outboxes = vec![
+            vec![env(0, 2), env(0, 0)],
+            vec![env(1, 2)],
+            vec![env(2, 2), env(2, 0)],
+        ];
+        let (inboxes, delivered, dropped) = route_plane(outboxes, 3, Some(2));
+        assert_eq!((delivered, dropped), (4, 1));
+        // Destination 0: staged seq 1 (from 0) then seq 4 (from 2).
+        assert_eq!(
+            inboxes[0].iter().map(|e| e.src).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert!(inboxes[1].is_empty());
+        // Destination 2: cap 2 keeps the first two staged (from 0, from 1)
+        // and drops the third (from 2).
+        assert_eq!(
+            inboxes[2].iter().map(|e| e.src).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn transport_parses() {
+        assert_eq!(Transport::parse("tcp").unwrap(), Transport::Tcp);
+        assert_eq!(Transport::parse("stdio").unwrap(), Transport::Stdio);
+        assert!(Transport::parse("quic").is_err());
+    }
+}

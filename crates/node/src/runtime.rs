@@ -1,0 +1,307 @@
+//! The node side of the runtime: one process, one node, one
+//! [`NodeRunner`].
+//!
+//! [`serve`] speaks the [`crate::protocol`] over any byte stream: it waits
+//! for the `Init` frame, instantiates the program named by the
+//! [`ProgramSpec`], and then executes one
+//! program step per `Round` frame until `Halt`.  The program runs against
+//! the *genuine* engine `NodeCtx` (via [`NodeRunner`]), so the γ send cap,
+//! the neighbour check on local sends and the local-mode assertion behave
+//! identically to the in-process executor by construction.
+//!
+//! Typed message bodies exist only inside this process: incoming
+//! [`Envelope`]s carry untyped [`Value`] trees that are bound to the
+//! program's `Msg` type here, and outgoing messages are converted back to
+//! `Value` trees before they are framed.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+use hybrid_graph::NodeId;
+use hybrid_sim::engine::{NodeProgram, NodeRunner, StepOutput};
+use hybrid_sim::programs::{
+    AckFloodProgram, BfsProgram, DetForwardProgram, FloodProgram, TokenGossipProgram,
+};
+use hybrid_sim::Envelope;
+use serde::{Deserialize, Serialize, Value};
+
+use crate::protocol::{read_frame, write_frame, FromNode, ToNode};
+use crate::scenario::{
+    ack_flood_state, bfs_state, det_forward_state, flood_state, gossip_state, initial_tokens,
+    ProgramSpec,
+};
+
+fn bad_proto(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Serves one node over the given byte streams until the driver sends
+/// `Halt` or closes the connection.
+///
+/// # Errors
+/// I/O errors from the streams, and `InvalidData` on protocol violations
+/// (a frame other than `Init` first, a second `Init`, or a message body
+/// that does not deserialize to the program's message type).
+pub fn serve(reader: impl Read, writer: impl Write) -> io::Result<()> {
+    let mut reader = BufReader::new(reader);
+    let mut writer = BufWriter::new(writer);
+    let Some(first) = read_frame::<ToNode>(&mut reader)? else {
+        // The driver vanished before Init; nothing to do.
+        return Ok(());
+    };
+    let ToNode::Init {
+        node,
+        n,
+        neighbors,
+        params,
+        seed,
+        program,
+    } = first
+    else {
+        return Err(bad_proto("first frame must be Init"));
+    };
+    match program {
+        ProgramSpec::Flood {
+            tokens_at,
+            rounds_budget,
+        } => run_node(
+            NodeRunner::new(
+                node,
+                neighbors,
+                &params,
+                FloodProgram::new(initial_tokens(&tokens_at, node), rounds_budget),
+            ),
+            &mut reader,
+            &mut writer,
+            flood_state,
+        ),
+        ProgramSpec::AckFlood {
+            tokens_at,
+            target_tokens,
+            retry_interval,
+        } => run_node(
+            NodeRunner::new(
+                node,
+                neighbors,
+                &params,
+                AckFloodProgram::new(
+                    initial_tokens(&tokens_at, node),
+                    target_tokens,
+                    retry_interval,
+                ),
+            ),
+            &mut reader,
+            &mut writer,
+            ack_flood_state,
+        ),
+        ProgramSpec::DetForward {
+            tokens_at,
+            target_tokens,
+        } => run_node(
+            NodeRunner::new(
+                node,
+                neighbors,
+                &params,
+                DetForwardProgram::new(initial_tokens(&tokens_at, node), target_tokens),
+            ),
+            &mut reader,
+            &mut writer,
+            det_forward_state,
+        ),
+        ProgramSpec::Bfs { source } => run_node(
+            NodeRunner::new(node, neighbors, &params, BfsProgram::new(node, source)),
+            &mut reader,
+            &mut writer,
+            bfs_state,
+        ),
+        ProgramSpec::Gossip {
+            tokens_at,
+            target_tokens,
+        } => run_node(
+            NodeRunner::new(
+                node,
+                neighbors,
+                &params,
+                TokenGossipProgram::new(
+                    node,
+                    n,
+                    initial_tokens(&tokens_at, node),
+                    target_tokens,
+                    seed,
+                ),
+            ),
+            &mut reader,
+            &mut writer,
+            gossip_state,
+        ),
+    }
+}
+
+/// The generic serve loop: init step first (round 0), then one step per
+/// `Round` barrier, then the `Halted` state summary on `Halt`.
+fn run_node<P: NodeProgram>(
+    mut runner: NodeRunner<P>,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    state: impl Fn(&P) -> Value,
+) -> io::Result<()> {
+    let out = runner.init();
+    send_round_out(writer, &runner, 0, out)?;
+    loop {
+        match read_frame::<ToNode>(reader)? {
+            // The driver hung up without Halt (e.g. it aborted on an error
+            // elsewhere); exit quietly rather than crash-loop.
+            None => return Ok(()),
+            Some(ToNode::Round {
+                round,
+                local,
+                global,
+            }) => {
+                let local_inbox = bind_inbox::<P>(local)?;
+                let global_inbox = bind_inbox::<P>(global)?;
+                let out = runner.step(round, &local_inbox, &global_inbox);
+                send_round_out(writer, &runner, round, out)?;
+            }
+            Some(ToNode::Halt) => {
+                let halted = FromNode::Halted {
+                    node: runner.node(),
+                    state: state(runner.program()),
+                };
+                return write_frame(writer, &halted);
+            }
+            Some(ToNode::Init { .. }) => return Err(bad_proto("duplicate Init frame")),
+        }
+    }
+}
+
+/// Binds a delivered envelope batch to the program's message type,
+/// preserving the driver's delivery order.
+fn bind_inbox<P: NodeProgram>(
+    envelopes: Vec<Envelope<Value>>,
+) -> io::Result<Vec<(NodeId, P::Msg)>> {
+    envelopes
+        .into_iter()
+        .map(|env| {
+            P::Msg::deserialize(&env.body)
+                .map(|msg| (env.src, msg))
+                .map_err(|e| bad_proto(format!("undecodable body from node {}: {e}", env.src)))
+        })
+        .collect()
+}
+
+/// Frames one step's outboxes as a `RoundOut`, sealing each message into an
+/// envelope stamped with the sending round.
+fn send_round_out<P: NodeProgram>(
+    writer: &mut impl Write,
+    runner: &NodeRunner<P>,
+    round: u64,
+    out: StepOutput<P::Msg>,
+) -> io::Result<()> {
+    let node = runner.node();
+    let seal = |msgs: Vec<(NodeId, P::Msg)>| -> Vec<Envelope<Value>> {
+        msgs.into_iter()
+            .map(|(dst, msg)| Envelope {
+                src: node,
+                dst,
+                round,
+                body: msg.to_value(),
+            })
+            .collect()
+    };
+    let round_out = FromNode::RoundOut {
+        node,
+        round,
+        local: seal(out.local),
+        global: seal(out.global),
+        refused: out.refused,
+        done: runner.done(),
+    };
+    write_frame(writer, &round_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybrid_sim::ModelParams;
+    use std::io::Cursor;
+
+    /// Drives a single served node by hand: init → one round → halt.
+    #[test]
+    fn serve_speaks_the_protocol_end_to_end() {
+        let params = ModelParams::hybrid(4);
+        let mut script = Vec::new();
+        write_frame(
+            &mut script,
+            &ToNode::Init {
+                node: 1,
+                n: 4,
+                neighbors: vec![0, 2],
+                params,
+                seed: 0,
+                program: ProgramSpec::Flood {
+                    tokens_at: vec![(1, vec![42])],
+                    rounds_budget: 8,
+                },
+            },
+        )
+        .unwrap();
+        write_frame(
+            &mut script,
+            &ToNode::Round {
+                round: 1,
+                local: vec![Envelope {
+                    src: 0,
+                    dst: 1,
+                    round: 0,
+                    body: Value::Array(vec![Value::UInt(7)]),
+                }],
+                global: vec![],
+            },
+        )
+        .unwrap();
+        write_frame(&mut script, &ToNode::Halt).unwrap();
+
+        let mut replies = Vec::new();
+        serve(Cursor::new(script), &mut replies).unwrap();
+
+        let mut cursor = Cursor::new(replies);
+        // Init pass: node 1 floods its token to both neighbours.
+        let Some(FromNode::RoundOut {
+            node, round, local, ..
+        }) = read_frame(&mut cursor).unwrap()
+        else {
+            panic!("expected RoundOut");
+        };
+        assert_eq!((node, round), (1, 0));
+        assert_eq!(local.len(), 2);
+        assert!(local
+            .iter()
+            .all(|e| e.body == Value::Array(vec![Value::UInt(42)])));
+        // Round 1: it learned token 7, floods the union.
+        let Some(FromNode::RoundOut { round, local, .. }) = read_frame(&mut cursor).unwrap() else {
+            panic!("expected RoundOut");
+        };
+        assert_eq!(round, 1);
+        assert!(local
+            .iter()
+            .all(|e| e.body == Value::Array(vec![Value::UInt(7), Value::UInt(42)])));
+        // Halt: the state summary knows both tokens.
+        let Some(FromNode::Halted { node, state }) = read_frame(&mut cursor).unwrap() else {
+            panic!("expected Halted");
+        };
+        assert_eq!(node, 1);
+        assert_eq!(
+            state.get("known"),
+            Some(&Value::Array(vec![Value::UInt(7), Value::UInt(42)]))
+        );
+        assert!(read_frame::<FromNode>(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn non_init_first_frame_is_a_protocol_error() {
+        let mut script = Vec::new();
+        write_frame(&mut script, &ToNode::Halt).unwrap();
+        let mut replies = Vec::new();
+        let err = serve(Cursor::new(script), &mut replies).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

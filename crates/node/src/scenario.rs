@@ -1,0 +1,395 @@
+//! Scenario descriptions shared by the driver, the node runtime and the
+//! conformance harness.
+//!
+//! A [`Scenario`] names a pinned local graph ([`GraphSpec`]), the program
+//! every node runs ([`ProgramSpec`]) and one [`EngineConfig`].  The same
+//! scenario value drives both executions the conformance contract compares:
+//! [`run_in_process`] on the in-process [`Executor`], and
+//! [`crate::driver::run_scenario`] across real node processes.
+//!
+//! [`ProgramSpec`] is serializable — it travels inside the
+//! [`Init`](crate::protocol::ToNode::Init) frame, so a node process can
+//! instantiate its program without sharing memory with the driver.
+
+use std::collections::BTreeSet;
+
+use hybrid_graph::{generators, Graph, NodeId};
+use hybrid_sim::engine::{Executor, NodeProgram, RunReport};
+use hybrid_sim::programs::{
+    AckFloodProgram, BfsProgram, DetForwardProgram, FloodProgram, TokenGossipProgram,
+};
+use hybrid_sim::{EngineConfig, EngineError, ModelParams, RoundTrace};
+use serde::{Deserialize, Serialize, Value};
+
+/// Token placement: `(node, tokens held initially)` pairs; nodes not listed
+/// start empty.
+pub type TokensAt = Vec<(NodeId, Vec<u64>)>;
+
+/// A pinned local-graph family instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum GraphSpec {
+    /// Path on `n` nodes.
+    Path {
+        /// Node count.
+        n: usize,
+    },
+    /// Cycle on `n` nodes.
+    Cycle {
+        /// Node count.
+        n: usize,
+    },
+    /// `rows × cols` grid.
+    Grid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// Star with centre `0` and `n - 1` leaves.
+    Star {
+        /// Node count (centre included).
+        n: usize,
+    },
+}
+
+impl GraphSpec {
+    /// Number of nodes of the instance.
+    pub fn n(&self) -> usize {
+        match *self {
+            GraphSpec::Path { n } | GraphSpec::Cycle { n } | GraphSpec::Star { n } => n,
+            GraphSpec::Grid { rows, cols } => rows * cols,
+        }
+    }
+
+    /// Materializes the graph.
+    ///
+    /// # Panics
+    /// Panics if the spec is degenerate (e.g. fewer than 2 nodes) — scenario
+    /// specs are pinned test inputs, not untrusted data.
+    pub fn build(&self) -> Graph {
+        match *self {
+            GraphSpec::Path { n } => generators::path(n),
+            GraphSpec::Cycle { n } => generators::cycle(n),
+            GraphSpec::Grid { rows, cols } => generators::grid(&[rows, cols]),
+            GraphSpec::Star { n } => generators::star(n),
+        }
+        .expect("scenario graph spec must be buildable")
+    }
+
+    /// Parses a CLI spelling: `path`, `cycle`, `star`, or `grid-RxC`
+    /// (combined with the separate node count for the first three).
+    pub fn parse(family: &str, n: usize) -> Result<Self, String> {
+        match family {
+            "path" => Ok(GraphSpec::Path { n }),
+            "cycle" => Ok(GraphSpec::Cycle { n }),
+            "star" => Ok(GraphSpec::Star { n }),
+            _ => {
+                if let Some(dims) = family.strip_prefix("grid-") {
+                    let (rows, cols) = dims
+                        .split_once('x')
+                        .ok_or_else(|| format!("bad grid spec `{family}` (want grid-RxC)"))?;
+                    let rows = rows
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad grid rows in `{family}`"))?;
+                    let cols = cols
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad grid cols in `{family}`"))?;
+                    Ok(GraphSpec::Grid { rows, cols })
+                } else {
+                    Err(format!(
+                        "unknown graph family `{family}` (want path, cycle, star, or grid-RxC)"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Which ready-made [`hybrid_sim::programs`] program every node runs, plus
+/// its parameters.  Serializable so it rides in the `Init` frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ProgramSpec {
+    /// Unstructured flooding ([`FloodProgram`]).
+    Flood {
+        /// Initial token placement.
+        tokens_at: TokensAt,
+        /// Rounds each node keeps flooding after its last novelty.
+        rounds_budget: u64,
+    },
+    /// Ack/retry flooding ([`AckFloodProgram`]).
+    AckFlood {
+        /// Initial token placement.
+        tokens_at: TokensAt,
+        /// Tokens a node must know to consider itself finished.
+        target_tokens: usize,
+        /// Retransmission interval for unacknowledged tokens.
+        retry_interval: u64,
+    },
+    /// Deterministic smallest-token-first forwarding ([`DetForwardProgram`]).
+    DetForward {
+        /// Initial token placement.
+        tokens_at: TokensAt,
+        /// Tokens a node must know to consider itself finished.
+        target_tokens: usize,
+    },
+    /// Local-plane BFS from a source ([`BfsProgram`]).
+    Bfs {
+        /// BFS source node.
+        source: NodeId,
+    },
+    /// Randomized token gossip over the global plane
+    /// ([`TokenGossipProgram`]); per-node RNG streams derive from the
+    /// scenario seed.
+    Gossip {
+        /// Initial token placement.
+        tokens_at: TokensAt,
+        /// Tokens a node must know to consider itself finished.
+        target_tokens: usize,
+    },
+}
+
+impl ProgramSpec {
+    /// Short name for logs and CLI output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProgramSpec::Flood { .. } => "flood",
+            ProgramSpec::AckFlood { .. } => "ack-flood",
+            ProgramSpec::DetForward { .. } => "det-forward",
+            ProgramSpec::Bfs { .. } => "bfs",
+            ProgramSpec::Gossip { .. } => "gossip",
+        }
+    }
+}
+
+/// The tokens `node` holds initially under `tokens_at`.
+pub fn initial_tokens(tokens_at: &[(NodeId, Vec<u64>)], node: NodeId) -> Vec<u64> {
+    tokens_at
+        .iter()
+        .filter(|(v, _)| *v == node)
+        .flat_map(|(_, tokens)| tokens.iter().copied())
+        .collect()
+}
+
+/// One complete experiment: graph instance, per-node program, engine
+/// configuration.  The driver refuses fault plans (the networked runtime has
+/// no fault injector yet); everything else is honoured by both engines.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The local communication graph.
+    pub graph: GraphSpec,
+    /// The program every node runs.
+    pub program: ProgramSpec,
+    /// Engine configuration (params, seed, round cap, trace recording).
+    pub config: EngineConfig,
+}
+
+impl Scenario {
+    /// A scenario with standard `HYBRID` parameters for the graph's size and
+    /// trace recording enabled (conformance is the common case).
+    pub fn new(graph: GraphSpec, program: ProgramSpec) -> Self {
+        let params = ModelParams::hybrid(graph.n());
+        Scenario {
+            graph,
+            program,
+            config: EngineConfig::new(params).with_trace(true),
+        }
+    }
+
+    /// Replaces the engine configuration.
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// Result of an in-process reference execution: the run report, the per-round
+/// delivered-message trace, and one state summary per node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineOutcome {
+    /// Accounting of the run.
+    pub report: RunReport,
+    /// Per-round delivered messages (empty unless the config records traces).
+    pub trace: Vec<RoundTrace>,
+    /// Per-node final state summaries, indexed by node id.
+    pub states: Vec<Value>,
+}
+
+/// State summary of a [`FloodProgram`]: `{"known": [tokens…]}`.
+pub fn flood_state(p: &FloodProgram) -> Value {
+    known_state(&p.known)
+}
+
+/// State summary of an [`AckFloodProgram`]: known tokens plus the number of
+/// still-unacknowledged transmissions.
+pub fn ack_flood_state(p: &AckFloodProgram) -> Value {
+    Value::Object(vec![
+        ("known".to_string(), tokens_value(&p.known)),
+        ("pending".to_string(), Value::UInt(p.pending() as u64)),
+    ])
+}
+
+/// State summary of a [`DetForwardProgram`]: `{"known": [tokens…]}`.
+pub fn det_forward_state(p: &DetForwardProgram) -> Value {
+    known_state(&p.known)
+}
+
+/// State summary of a [`BfsProgram`]: `{"dist": d}` (JSON `null` while
+/// unreached).
+pub fn bfs_state(p: &BfsProgram) -> Value {
+    Value::Object(vec![("dist".to_string(), p.dist.to_value())])
+}
+
+/// State summary of a [`TokenGossipProgram`]: `{"known": [tokens…]}`.
+pub fn gossip_state(p: &TokenGossipProgram) -> Value {
+    known_state(&p.known)
+}
+
+fn tokens_value(tokens: &BTreeSet<u64>) -> Value {
+    Value::Array(tokens.iter().map(|&t| Value::UInt(t)).collect())
+}
+
+fn known_state(tokens: &BTreeSet<u64>) -> Value {
+    Value::Object(vec![("known".to_string(), tokens_value(tokens))])
+}
+
+/// Runs the scenario on the in-process [`Executor`] — the reference side of
+/// the conformance contract.
+///
+/// # Errors
+/// Propagates [`EngineError::RoundLimitExceeded`] from the engine when the
+/// configured round cap is exhausted before every program is done.
+pub fn run_in_process(scenario: &Scenario) -> Result<EngineOutcome, EngineError> {
+    let graph = scenario.graph.build();
+    let n = graph.n();
+    let config = scenario.config.clone();
+    let seed = config.seed();
+    match &scenario.program {
+        ProgramSpec::Flood {
+            tokens_at,
+            rounds_budget,
+        } => run_typed(
+            &graph,
+            config,
+            |v| FloodProgram::new(initial_tokens(tokens_at, v), *rounds_budget),
+            flood_state,
+        ),
+        ProgramSpec::AckFlood {
+            tokens_at,
+            target_tokens,
+            retry_interval,
+        } => run_typed(
+            &graph,
+            config,
+            |v| {
+                AckFloodProgram::new(
+                    initial_tokens(tokens_at, v),
+                    *target_tokens,
+                    *retry_interval,
+                )
+            },
+            ack_flood_state,
+        ),
+        ProgramSpec::DetForward {
+            tokens_at,
+            target_tokens,
+        } => run_typed(
+            &graph,
+            config,
+            |v| DetForwardProgram::new(initial_tokens(tokens_at, v), *target_tokens),
+            det_forward_state,
+        ),
+        ProgramSpec::Bfs { source } => {
+            run_typed(&graph, config, |v| BfsProgram::new(v, *source), bfs_state)
+        }
+        ProgramSpec::Gossip {
+            tokens_at,
+            target_tokens,
+        } => run_typed(
+            &graph,
+            config,
+            |v| TokenGossipProgram::new(v, n, initial_tokens(tokens_at, v), *target_tokens, seed),
+            gossip_state,
+        ),
+    }
+}
+
+fn run_typed<P: NodeProgram>(
+    graph: &Graph,
+    config: EngineConfig,
+    factory: impl FnMut(NodeId) -> P,
+    state: impl Fn(&P) -> Value,
+) -> Result<EngineOutcome, EngineError> {
+    let mut exec = Executor::with_config(graph, config, factory);
+    let report = exec.run()?;
+    let trace = exec.take_trace();
+    let states = exec.programs().iter().map(state).collect();
+    Ok(EngineOutcome {
+        report,
+        trace,
+        states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_specs_build_and_parse() {
+        assert_eq!(GraphSpec::parse("path", 12).unwrap().n(), 12);
+        assert_eq!(GraphSpec::parse("grid-4x3", 0).unwrap().n(), 12);
+        assert!(GraphSpec::parse("torus", 9).is_err());
+        assert!(GraphSpec::parse("grid-4", 0).is_err());
+        let g = GraphSpec::Grid { rows: 4, cols: 3 }.build();
+        assert_eq!(g.n(), 12);
+    }
+
+    #[test]
+    fn program_specs_ride_through_json() {
+        let spec = ProgramSpec::AckFlood {
+            tokens_at: vec![(0, vec![1, 2, 3])],
+            target_tokens: 3,
+            retry_interval: 2,
+        };
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: ProgramSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.name(), "ack-flood");
+        match back {
+            ProgramSpec::AckFlood {
+                tokens_at,
+                target_tokens,
+                retry_interval,
+            } => {
+                assert_eq!(tokens_at, vec![(0, vec![1, 2, 3])]);
+                assert_eq!(target_tokens, 3);
+                assert_eq!(retry_interval, 2);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_process_reference_run_produces_trace_and_states() {
+        let scenario = Scenario::new(
+            GraphSpec::Path { n: 6 },
+            ProgramSpec::Flood {
+                tokens_at: vec![(0, vec![10, 11])],
+                rounds_budget: 64,
+            },
+        );
+        let out = run_in_process(&scenario).expect("flood completes");
+        assert!(out.report.completed);
+        assert!(!out.trace.is_empty());
+        assert_eq!(out.states.len(), 6);
+        let expected = known_state(&[10u64, 11].into_iter().collect());
+        assert!(out.states.iter().all(|s| *s == expected));
+    }
+
+    #[test]
+    fn initial_tokens_filters_by_node() {
+        let at = vec![(0, vec![1]), (2, vec![5, 6]), (0, vec![9])];
+        assert_eq!(initial_tokens(&at, 0), vec![1, 9]);
+        assert_eq!(initial_tokens(&at, 1), Vec::<u64>::new());
+        assert_eq!(initial_tokens(&at, 2), vec![5, 6]);
+    }
+}

@@ -33,6 +33,8 @@
 
 use hybrid_graph::{Graph, NodeId};
 
+use crate::config::{EngineConfig, EngineError};
+use crate::envelope::{body_json, Body, RoundTrace, TraceEntry};
 use crate::faults::{Fate, FaultPlan};
 use crate::params::ModelParams;
 
@@ -110,9 +112,14 @@ impl<'a, M: Clone> NodeCtx<'a, M> {
 }
 
 /// A per-node synchronous program.
+///
+/// The message type is bound by [`Body`], so the same program runs on the
+/// in-process engine (messages moved by value, never serialized) and on the
+/// networked `hybrid-node` runtime (messages framed as JSON envelopes at the
+/// process boundary) without modification.
 pub trait NodeProgram {
     /// Message type exchanged by the program (same for local and global mode).
-    type Msg: Clone;
+    type Msg: Body;
 
     /// Called once before the first round (round 0), e.g. to seed initial
     /// messages.
@@ -225,7 +232,11 @@ impl<M> Arena<M> {
 
 /// Synchronous executor running one [`NodeProgram`] per node.
 ///
-/// With a [`FaultPlan`] installed ([`Executor::set_fault_plan`]) the round
+/// Configuration — model parameters, fault plan, round cap, trace recording
+/// — comes from one [`EngineConfig`] ([`Executor::with_config`]), the same
+/// builder the phase engine and the networked driver accept.
+///
+/// With a fault plan installed ([`EngineConfig::with_fault_plan`]) the round
 /// boundary applies the adversary to every staged message: a crashed node
 /// executes no program steps and receives nothing while down (its state
 /// survives — the crash-*restart* model), a partition-severed local edge
@@ -234,17 +245,29 @@ impl<M> Arena<M> {
 /// round, so the engine and the phase engine address the same adversary.
 pub struct Executor<'g, P: NodeProgram> {
     graph: &'g Graph,
-    params: ModelParams,
+    config: EngineConfig,
     programs: Vec<P>,
     neighbor_lists: Vec<Vec<NodeId>>,
-    faults: Option<FaultPlan>,
+    trace: Vec<RoundTrace>,
 }
 
 impl<'g, P: NodeProgram> Executor<'g, P> {
     /// Creates an executor with one program per node (programs are produced by
-    /// the factory, which receives the node id).
+    /// the factory, which receives the node id) and default configuration.
     pub fn new(graph: &'g Graph, params: ModelParams, factory: impl FnMut(NodeId) -> P) -> Self {
-        assert_eq!(params.n, graph.n());
+        Self::with_config(graph, EngineConfig::new(params), factory)
+    }
+
+    /// Creates an executor from a full [`EngineConfig`].
+    ///
+    /// # Panics
+    /// Panics if `config.params().n` does not match the graph's node count.
+    pub fn with_config(
+        graph: &'g Graph,
+        config: EngineConfig,
+        factory: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        assert_eq!(config.params().n, graph.n());
         let programs: Vec<P> = graph.nodes().map(factory).collect();
         let neighbor_lists: Vec<Vec<NodeId>> = graph
             .nodes()
@@ -252,10 +275,10 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
             .collect();
         Executor {
             graph,
-            params,
+            config,
             programs,
             neighbor_lists,
-            faults: None,
+            trace: Vec::new(),
         }
     }
 
@@ -263,19 +286,9 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
     ///
     /// # Panics
     /// Panics if the plan was built for a different node count.
+    #[deprecated(note = "pass the plan through `EngineConfig::with_fault_plan` instead")]
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        assert_eq!(
-            plan.n(),
-            self.graph.n(),
-            "fault plan is for {} nodes but the graph has {}",
-            plan.n(),
-            self.graph.n()
-        );
-        self.faults = if plan.is_failure_free() {
-            None
-        } else {
-            Some(plan)
-        };
+        self.config = self.config.clone().with_fault_plan(plan);
     }
 
     /// Read access to the per-node programs (e.g. to extract results).
@@ -283,17 +296,54 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
         &self.programs
     }
 
-    /// Runs until every program reports `done()` or `max_rounds` is reached.
-    pub fn run(&mut self, max_rounds: u64) -> RunReport {
-        self.run_until(max_rounds, |programs| programs.iter().all(|p| p.done()))
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
-    /// Runs until `stop(programs)` holds (checked after every round) or
-    /// `max_rounds` is reached.
-    pub fn run_until(&mut self, max_rounds: u64, stop: impl Fn(&[P]) -> bool) -> RunReport {
+    /// The per-round delivered-message trace of the last run, emptied out.
+    /// Non-empty only when the configuration enables trace recording.
+    pub fn take_trace(&mut self) -> Vec<RoundTrace> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Runs until every program reports `done()`.
+    ///
+    /// # Errors
+    /// [`EngineError::RoundLimitExceeded`] (carrying the partial report) if
+    /// the configured round cap is exhausted first — truncation is a typed
+    /// error, never a silently capped report.
+    pub fn run(&mut self) -> Result<RunReport, EngineError> {
+        self.run_until(|programs| programs.iter().all(|p| p.done()))
+    }
+
+    /// Runs until `stop(programs)` holds (checked after every round).
+    ///
+    /// # Errors
+    /// [`EngineError::RoundLimitExceeded`] if the configured round cap is
+    /// exhausted before the stop condition holds.
+    pub fn run_until(&mut self, stop: impl Fn(&[P]) -> bool) -> Result<RunReport, EngineError> {
+        let limit = self.config.max_rounds();
+        let report = self.run_capped(limit, stop);
+        if report.completed {
+            Ok(report)
+        } else {
+            Err(EngineError::RoundLimitExceeded { limit, report })
+        }
+    }
+
+    /// Runs a deliberately bounded window: at most `max_rounds` rounds,
+    /// stopping early iff `stop(programs)` holds.  Unlike [`Executor::run`],
+    /// hitting the bound is *not* an error — the report's `completed` flag
+    /// records whether the stop condition was reached.  Use this when the
+    /// window itself is the experiment (partial flooding, fixed-horizon
+    /// sweeps); use `run`/`run_until` when termination is expected.
+    pub fn run_capped(&mut self, max_rounds: u64, stop: impl Fn(&[P]) -> bool) -> RunReport {
         let n = self.graph.n();
-        let gamma = self.params.global_capacity_msgs;
-        let local_enabled = self.params.has_local();
+        let gamma = self.config.params().global_capacity_msgs;
+        let local_enabled = self.config.params().has_local();
+        let record_trace = self.config.record_trace();
+        self.trace.clear();
 
         // Double-buffered flat mailboxes: the arenas hold the messages being
         // *read* this round, the staging vectors collect the messages being
@@ -309,7 +359,7 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
         // Fault-injection state: messages held back by delay fates, keyed by
         // the sending round at which they re-enter staging.  Cloning the plan
         // up front keeps the borrow checker away from the program loop.
-        let faults = self.faults.clone();
+        let faults = self.config.fault_plan().cloned();
         let mut held_local: Vec<(u64, NodeId, NodeId, P::Msg)> = Vec::new();
         let mut held_global: Vec<(u64, NodeId, NodeId, P::Msg)> = Vec::new();
         let mut fault_scratch: Vec<(NodeId, NodeId, P::Msg)> = Vec::new();
@@ -374,6 +424,10 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
         let (delivered, dropped) = global_arena.fill_from(&mut global_stage, Some(gamma));
         report.global_messages += delivered;
         report.dropped_global += dropped;
+        if record_trace {
+            self.trace
+                .push(Self::trace_round(0, &local_arena, &global_arena, n));
+        }
 
         if stop(&self.programs) {
             report.completed = true;
@@ -438,6 +492,10 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
             let (delivered, dropped) = global_arena.fill_from(&mut global_stage, Some(gamma));
             report.global_messages += delivered;
             report.dropped_global += dropped;
+            if record_trace {
+                self.trace
+                    .push(Self::trace_round(round, &local_arena, &global_arena, n));
+            }
 
             if stop(&self.programs) {
                 report.completed = true;
@@ -445,6 +503,35 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
             }
         }
         report
+    }
+
+    /// Snapshots one round's delivered messages from the filled arenas, in
+    /// the arenas' deterministic order (destination-major, then staging
+    /// sequence) — the order the conformance contract pins.
+    fn trace_round(
+        round: u64,
+        local: &Arena<P::Msg>,
+        global: &Arena<P::Msg>,
+        n: usize,
+    ) -> RoundTrace {
+        let collect = |arena: &Arena<P::Msg>| {
+            let mut entries = Vec::with_capacity(arena.data.len());
+            for v in 0..n {
+                for (src, msg) in arena.inbox(v) {
+                    entries.push(TraceEntry {
+                        src: *src,
+                        dst: v as NodeId,
+                        body: body_json(msg),
+                    });
+                }
+            }
+            entries
+        };
+        RoundTrace {
+            round,
+            local: collect(local),
+            global: collect(global),
+        }
     }
 
     /// Applies the fault plan to one staging buffer at the end of sending
@@ -533,6 +620,117 @@ impl<'g, P: NodeProgram> Executor<'g, P> {
     }
 }
 
+/// The outgoing messages of one program step, in send order.
+///
+/// The γ *send* cap has already been enforced by the runner (refusals are
+/// counted); the γ *receive* cap is the router's job — the in-process
+/// executor applies it in `Arena::fill_from`, the networked driver applies
+/// the identical rule when it routes envelopes between node processes.
+#[derive(Debug, Clone)]
+pub struct StepOutput<M> {
+    /// Local messages as `(destination, payload)` — destinations are always
+    /// neighbours (enforced by [`NodeCtx::send_local`]).
+    pub local: Vec<(NodeId, M)>,
+    /// Global messages as `(destination, payload)`, at most γ of them.
+    pub global: Vec<(NodeId, M)>,
+    /// Global sends refused by the γ send cap this step.
+    pub refused: u64,
+}
+
+/// Drives a single node's [`NodeProgram`] outside the in-process executor.
+///
+/// This is the building block of the networked `hybrid-node` runtime: one
+/// process holds one `NodeRunner` and exchanges inboxes/outboxes with the
+/// driver over the wire.  The runner constructs the exact same [`NodeCtx`]
+/// the executor does, so program-facing semantics — neighbour checks, the γ
+/// send cap, budget accounting — are identical by construction, not by
+/// reimplementation.
+pub struct NodeRunner<P: NodeProgram> {
+    node: NodeId,
+    neighbors: Vec<NodeId>,
+    gamma: usize,
+    local_enabled: bool,
+    program: P,
+}
+
+impl<P: NodeProgram> NodeRunner<P> {
+    /// Creates a runner for `node` with its local-graph neighbourhood.
+    pub fn new(node: NodeId, neighbors: Vec<NodeId>, params: &ModelParams, program: P) -> Self {
+        NodeRunner {
+            node,
+            neighbors,
+            gamma: params.global_capacity_msgs,
+            local_enabled: params.has_local(),
+            program,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Runs the program's init pass (round 0) with empty inboxes.
+    pub fn init(&mut self) -> StepOutput<P::Msg> {
+        self.drive(None, &[], &[])
+    }
+
+    /// Runs one program round with the given inboxes.
+    pub fn step(
+        &mut self,
+        round: u64,
+        local_inbox: &[(NodeId, P::Msg)],
+        global_inbox: &[(NodeId, P::Msg)],
+    ) -> StepOutput<P::Msg> {
+        self.drive(Some(round), local_inbox, global_inbox)
+    }
+
+    fn drive(
+        &mut self,
+        round: Option<u64>,
+        local_inbox: &[(NodeId, P::Msg)],
+        global_inbox: &[(NodeId, P::Msg)],
+    ) -> StepOutput<P::Msg> {
+        let mut local_out: Vec<(NodeId, P::Msg)> = Vec::new();
+        let mut global_out: Vec<(NodeId, P::Msg)> = Vec::new();
+        let mut ctx = NodeCtx {
+            node: self.node,
+            neighbors: &self.neighbors,
+            local_inbox,
+            global_inbox,
+            local_outbox: &mut local_out,
+            global_outbox: &mut global_out,
+            gamma: self.gamma,
+            global_send_overflow: 0,
+        };
+        match round {
+            None => self.program.init(&mut ctx),
+            Some(r) => self.program.on_round(&mut ctx, r),
+        }
+        let refused = ctx.global_send_overflow;
+        assert!(
+            local_out.is_empty() || self.local_enabled,
+            "node {} sent local messages but the model has no local mode",
+            self.node
+        );
+        StepOutput {
+            local: local_out,
+            global: global_out,
+            refused,
+        }
+    }
+
+    /// Whether the program reports itself finished.
+    pub fn done(&self) -> bool {
+        self.program.done()
+    }
+
+    /// Read access to the program (e.g. to extract final state).
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -581,7 +779,7 @@ mod tests {
             seen: false,
             forwarded: false,
         });
-        let report = exec.run(100);
+        let report = exec.run().expect("wave completes well under the cap");
         assert!(report.completed);
         assert_eq!(report.rounds, 9);
         assert!(exec.programs().iter().all(|p| p.seen));
@@ -615,7 +813,7 @@ mod tests {
         let g = generators::star(20).unwrap();
         let params = ModelParams::hybrid_with_global_capacity(20, 4);
         let mut exec = Executor::new(&g, params, |id| Spam { id, received: 0 });
-        let report = exec.run_until(3, |_| false);
+        let report = exec.run_capped(3, |_| false);
         assert_eq!(report.rounds, 3);
         assert_eq!(report.global_messages, 4);
         assert_eq!(report.dropped_global, 15);
@@ -653,7 +851,7 @@ mod tests {
         let g = generators::cycle(10).unwrap();
         let params = ModelParams::hybrid_with_global_capacity(10, 3);
         let mut exec = Executor::new(&g, params, |id| Blaster { id, refused: false });
-        let report = exec.run_until(1, |_| false);
+        let report = exec.run_capped(1, |_| false);
         assert_eq!(report.global_messages, 3);
         assert_eq!(report.refused_sends, 6);
         assert!(exec.programs()[0].refused);
@@ -676,7 +874,7 @@ mod tests {
         }
         let g = generators::path(10).unwrap();
         let mut exec = Executor::new(&g, ModelParams::hybrid(10), |_| Bad);
-        exec.run_until(1, |_| false);
+        exec.run_capped(1, |_| false);
     }
 
     /// Reference executor reproducing the pre-arena ("seed") mailbox
@@ -855,7 +1053,7 @@ mod tests {
                 log: Vec::new(),
             };
             let mut exec = Executor::new(&graph, params, factory);
-            let report = exec.run_until(12, |_| false);
+            let report = exec.run_capped(12, |_| false);
             let (ref_programs, ref_report) = run_reference(&graph, params, factory, 12);
             assert_eq!(report, ref_report, "reports diverge on n={n} gamma={gamma}");
             for (p, r) in exec.programs().iter().zip(&ref_programs) {
@@ -877,7 +1075,7 @@ mod tests {
             log: Vec::new(),
         };
         let mut exec = Executor::new(&graph, params, factory);
-        exec.run_until(8, |_| false);
+        exec.run_capped(8, |_| false);
         let (ref_programs, _) = run_reference(&graph, params, factory, 8);
         for (p, r) in exec.programs().iter().zip(&ref_programs) {
             for ((ra, la, ga), (rb, lb, gb)) in p.log.iter().zip(&r.log) {
@@ -908,10 +1106,11 @@ mod tests {
             log: Vec::new(),
         };
         let mut plain = Executor::new(&graph, params, factory);
-        let plain_report = plain.run_until(10, |_| false);
-        let mut with_plan = Executor::new(&graph, params, factory);
-        with_plan.set_fault_plan(FaultPlan::new(FaultSpec::none(), 9, n));
-        let plan_report = with_plan.run_until(10, |_| false);
+        let plain_report = plain.run_capped(10, |_| false);
+        let config =
+            EngineConfig::new(params).with_fault_plan(FaultPlan::new(FaultSpec::none(), 9, n));
+        let mut with_plan = Executor::with_config(&graph, config, factory);
+        let plan_report = with_plan.run_capped(10, |_| false);
         assert_eq!(plain_report, plan_report);
         assert_eq!(plan_report.injected_drops, 0);
         for (p, r) in plain.programs().iter().zip(with_plan.programs()) {
@@ -937,9 +1136,9 @@ mod tests {
             ..FaultSpec::none()
         };
         let run = |seed: u64| {
-            let mut exec = Executor::new(&graph, params, factory);
-            exec.set_fault_plan(FaultPlan::new(spec, seed, 20));
-            let report = exec.run_until(12, |_| false);
+            let config = EngineConfig::new(params).with_fault_plan(FaultPlan::new(spec, seed, 20));
+            let mut exec = Executor::with_config(&graph, config, factory);
+            let report = exec.run_capped(12, |_| false);
             let logs: Vec<_> = exec.programs().iter().map(|p| p.log.clone()).collect();
             (report, logs)
         };
@@ -1004,9 +1203,11 @@ mod tests {
             crash_horizon_rounds: 1,
             ..FaultSpec::none()
         };
-        let mut exec = Executor::new(&g, params, |id| Pulse { id, seen: false });
-        exec.set_fault_plan(FaultPlan::new(spec, 1, 10));
-        let report = exec.run(100);
+        let config = EngineConfig::new(params)
+            .with_fault_plan(FaultPlan::new(spec, 1, 10))
+            .with_max_rounds(100);
+        let mut exec = Executor::with_config(&g, config, |id| Pulse { id, seen: false });
+        let report = exec.run().expect("the pulse completes after the restarts");
         assert!(report.completed, "the pulse completes after the restarts");
         assert!(
             report.rounds > 9,
@@ -1033,5 +1234,178 @@ mod tests {
         assert_eq!(arena.inbox(1), &[]);
         assert_eq!(arena.inbox(2), &[(9, 20), (8, 21)]);
         assert_eq!(arena.inbox(3), &[]);
+    }
+
+    #[test]
+    fn exhausting_the_round_cap_is_a_typed_error() {
+        // Spam never reports done, so any cap is exhausted.
+        let g = generators::star(8).unwrap();
+        let params = ModelParams::hybrid_with_global_capacity(8, 2);
+        let config = EngineConfig::new(params).with_max_rounds(5);
+        let mut exec = Executor::with_config(&g, config, |id| Spam { id, received: 0 });
+        let err = exec.run().expect_err("spam never completes");
+        let EngineError::RoundLimitExceeded { limit, report } = err;
+        assert_eq!(limit, 5);
+        assert_eq!(report.rounds, 5);
+        assert!(!report.completed);
+        // The partial report still carries the full accounting.
+        assert_eq!(report.global_messages, 2);
+        assert_eq!(report.dropped_global, 5);
+    }
+
+    #[test]
+    fn trace_records_delivery_order_bit_for_bit() {
+        let g = generators::path(3).unwrap();
+        let params = ModelParams::hybrid(3);
+        let config = EngineConfig::new(params).with_trace(true);
+        let mut exec = Executor::with_config(&g, config, |id| Wave {
+            id,
+            seen: false,
+            forwarded: false,
+        });
+        let report = exec.run().unwrap();
+        assert_eq!(report.rounds, 2);
+        let trace = exec.take_trace();
+        // Sending rounds 0, 1, 2: node 0 broadcasts at init, node 1 forwards
+        // in round 1, node 2 forwards in round 2 (delivered, read by nobody
+        // new).  `Wave`'s message type is `()`, rendered as JSON `null`.
+        let nil = || "null".to_string();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].round, 0);
+        assert_eq!(
+            trace[0].local,
+            vec![TraceEntry {
+                src: 0,
+                dst: 1,
+                body: nil()
+            }]
+        );
+        assert_eq!(trace[1].round, 1);
+        assert_eq!(
+            trace[1].local,
+            vec![
+                TraceEntry {
+                    src: 1,
+                    dst: 0,
+                    body: nil()
+                },
+                TraceEntry {
+                    src: 1,
+                    dst: 2,
+                    body: nil()
+                }
+            ]
+        );
+        assert_eq!(trace[2].round, 2);
+        assert!(trace.iter().all(|r| r.global.is_empty()));
+        // take_trace drains.
+        assert!(exec.take_trace().is_empty());
+    }
+
+    /// Drives `Wave` on a path through [`NodeRunner`]s with hand-rolled
+    /// routing — the networked driver's control flow in miniature — and
+    /// checks the outcome matches the in-process executor exactly.
+    #[test]
+    fn node_runners_replicate_the_executor() {
+        let g = generators::path(6).unwrap();
+        let params = ModelParams::hybrid(6);
+        let n = g.n();
+
+        let mut runners: Vec<NodeRunner<Wave>> = g
+            .nodes()
+            .map(|v| {
+                NodeRunner::new(
+                    v,
+                    g.neighbors(v).collect(),
+                    &params,
+                    Wave {
+                        id: v,
+                        seen: false,
+                        forwarded: false,
+                    },
+                )
+            })
+            .collect();
+
+        // Round 0 (init), then lock-step rounds with node-id-order routing.
+        let mut inboxes: Vec<Vec<(NodeId, ())>> = vec![Vec::new(); n];
+        for runner in &mut runners {
+            let out = runner.init();
+            assert_eq!(out.refused, 0);
+            for (to, msg) in out.local {
+                inboxes[to as usize].push((runner.node(), msg));
+            }
+        }
+        let mut rounds = 0u64;
+        while !runners.iter().all(|r| r.done()) {
+            rounds += 1;
+            let mut next: Vec<Vec<(NodeId, ())>> = vec![Vec::new(); n];
+            for (v, runner) in runners.iter_mut().enumerate() {
+                let out = runner.step(rounds, &inboxes[v], &[]);
+                for (to, msg) in out.local {
+                    next[to as usize].push((runner.node(), msg));
+                }
+            }
+            inboxes = next;
+            assert!(rounds < 100, "runaway");
+        }
+
+        let mut exec = Executor::new(&g, params, |id| Wave {
+            id,
+            seen: false,
+            forwarded: false,
+        });
+        let report = exec.run().unwrap();
+        assert_eq!(rounds, report.rounds);
+        for (runner, p) in runners.iter().zip(exec.programs()) {
+            assert_eq!(runner.program().seen, p.seen);
+        }
+    }
+
+    #[test]
+    fn node_runner_enforces_the_send_cap() {
+        let params = ModelParams::hybrid_with_global_capacity(10, 3);
+        let mut runner = NodeRunner::new(
+            0,
+            vec![1],
+            &params,
+            Blaster {
+                id: 0,
+                refused: false,
+            },
+        );
+        runner.init();
+        let out = runner.step(1, &[], &[]);
+        assert_eq!(out.global.len(), 3);
+        assert_eq!(out.refused, 6);
+        assert!(runner.program().refused);
+    }
+
+    /// The deprecated setter keeps working until removal.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_set_fault_plan_is_equivalent_to_config() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let graph = generators::cycle(12).unwrap();
+        let params = ModelParams::hybrid_with_global_capacity(12, 3);
+        let factory = |id: NodeId| Chaos {
+            id,
+            n: 12,
+            log: Vec::new(),
+        };
+        let plan = FaultPlan::new(FaultSpec::drop_only(0.4), 11, 12);
+
+        let mut old_style = Executor::new(&graph, params, factory);
+        old_style.set_fault_plan(plan.clone());
+        let old_report = old_style.run_capped(10, |_| false);
+
+        let config = EngineConfig::new(params).with_fault_plan(plan);
+        let mut new_style = Executor::with_config(&graph, config, factory);
+        let new_report = new_style.run_capped(10, |_| false);
+
+        assert_eq!(old_report, new_report);
+        for (a, b) in old_style.programs().iter().zip(new_style.programs()) {
+            assert_eq!(a.log, b.log);
+        }
     }
 }

@@ -35,15 +35,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod cost;
 pub mod engine;
+pub mod envelope;
 pub mod faults;
 pub mod network;
 pub mod params;
 pub mod programs;
 pub mod scheduler;
 
+pub use config::{EngineConfig, EngineError};
 pub use cost::{CostMeter, PhaseKind, PhaseRecord};
+pub use envelope::{Body, Envelope, RoundTrace, TraceEntry};
 pub use faults::{Fate, FaultPlan, FaultSpec};
 pub use network::HybridNetwork;
 pub use params::{IdSpace, LocalBandwidth, ModelParams};

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use hybrid_graph::Graph;
 
+use crate::config::EngineConfig;
 use crate::cost::CostMeter;
 use crate::faults::FaultPlan;
 use crate::params::ModelParams;
@@ -24,8 +25,9 @@ use crate::scheduler::{DeliveryReport, GlobalMessage, GlobalScheduler};
 /// [`HybridNetwork::deliver_global`] phases reuse one set of scheduling
 /// buffers instead of allocating per batch.
 ///
-/// An optional [`FaultPlan`] (see [`HybridNetwork::set_fault_plan`]) routes
-/// every global phase through the adversarial
+/// An optional [`FaultPlan`] (installed through
+/// [`EngineConfig::with_fault_plan`] and [`HybridNetwork::with_config`])
+/// routes every global phase through the adversarial
 /// [`GlobalScheduler::deliver_with_faults`] path, using the meter's running
 /// round total as the fate coordinate so repeated phases draw fresh faults.
 #[derive(Debug, Clone)]
@@ -59,11 +61,26 @@ impl HybridNetwork {
         }
     }
 
+    /// Creates a network from a unified [`EngineConfig`]: model parameters
+    /// and fault plan are taken from the config (the phase engine has no
+    /// round cap or trace recorder — those knobs drive the message-passing
+    /// engine and the networked runtime).
+    ///
+    /// # Panics
+    /// Panics if `config.params().n` does not match the graph's node count.
+    pub fn with_config(graph: Arc<Graph>, config: &EngineConfig) -> Self {
+        let mut net = Self::new(graph, *config.params());
+        net.faults = config.fault_plan().cloned();
+        net
+    }
+
     /// Installs a fault plan: every subsequent global phase plays against the
     /// adversary.  Passing a failure-free plan is equivalent to `None`.
     ///
     /// # Panics
     /// Panics if the plan was built for a different node count.
+    #[deprecated(note = "pass the plan through `EngineConfig::with_fault_plan` and \
+                         `HybridNetwork::with_config` instead")]
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         assert_eq!(
             plan.n(),
@@ -279,6 +296,8 @@ mod tests {
     fn fault_plan_routes_global_phases_through_the_adversary() {
         use crate::faults::{FaultPlan, FaultSpec};
         let msgs: Vec<_> = (1..32u32).map(|s| GlobalMessage::new(s, 0)).collect();
+        let graph = Arc::new(generators::cycle(64).unwrap());
+        let params = ModelParams::hybrid(64);
 
         let mut clean = net(64);
         let clean_report = clean.deliver_global("pump", &msgs);
@@ -286,8 +305,12 @@ mod tests {
         assert_eq!(clean_report.dropped, 0);
         assert_eq!(clean.meter().dropped(), 0);
 
-        let mut faulty = net(64);
-        faulty.set_fault_plan(FaultPlan::new(FaultSpec::drop_only(0.5), 77, 64));
+        let config = EngineConfig::new(params).with_fault_plan(FaultPlan::new(
+            FaultSpec::drop_only(0.5),
+            77,
+            64,
+        ));
+        let mut faulty = HybridNetwork::with_config(Arc::clone(&graph), &config);
         assert!(faulty.has_faults());
         let report = faulty.deliver_global("pump", &msgs);
         assert_eq!(report.messages, msgs.len() as u64);
@@ -298,15 +321,18 @@ mod tests {
         assert_eq!(faulty.meter().dropped(), report.dropped);
         assert_eq!(faulty.meter().trace()[0].dropped, report.dropped);
 
-        // Installing a failure-free plan is a no-op.
-        let mut noop = net(64);
-        noop.set_fault_plan(FaultPlan::new(FaultSpec::none(), 77, 64));
+        // A failure-free plan normalizes away at config build time.
+        let noop_config =
+            EngineConfig::new(params).with_fault_plan(FaultPlan::new(FaultSpec::none(), 77, 64));
+        let noop = HybridNetwork::with_config(graph, &noop_config);
         assert!(!noop.has_faults());
     }
 
+    /// The deprecated setter keeps working (and panicking) until removal.
     #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "fault plan is for")]
-    fn mismatched_fault_plan_panics() {
+    fn deprecated_set_fault_plan_still_validates() {
         use crate::faults::{FaultPlan, FaultSpec};
         let mut n = net(16);
         n.set_fault_plan(FaultPlan::new(FaultSpec::drop_only(0.1), 0, 8));

@@ -10,6 +10,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use hybrid_graph::NodeId;
 
@@ -274,7 +275,10 @@ impl NodeProgram for DetForwardProgram {
 }
 
 /// Message alphabet of [`AckFloodProgram`].
-#[derive(Debug, Clone)]
+///
+/// Serializes externally tagged (`{"Tokens": [...]}` / `{"Ack": [...]}`), so
+/// the program runs unmodified on the networked `hybrid-node` runtime.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum AckFloodMsg {
     /// A batch of tokens the sender believes the receiver is missing.
     Tokens(Vec<u64>),
@@ -411,6 +415,7 @@ impl NodeProgram for AckFloodProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::EngineConfig;
     use crate::engine::Executor;
     use crate::params::ModelParams;
     use hybrid_graph::{generators, properties};
@@ -419,10 +424,9 @@ mod tests {
     fn flooding_learns_everything_within_diameter() {
         let g = generators::grid(&[5, 5]).unwrap();
         let d = properties::diameter(&g);
-        let mut exec = Executor::new(&g, ModelParams::hybrid(25), |v| {
-            FloodProgram::new([v as u64], d + 1)
-        });
-        let report = exec.run(2 * d + 2);
+        let config = EngineConfig::new(ModelParams::hybrid(25)).with_max_rounds(2 * d + 2);
+        let mut exec = Executor::with_config(&g, config, |v| FloodProgram::new([v as u64], d + 1));
+        let report = exec.run().unwrap();
         assert!(report.completed);
         assert!(report.rounds <= d + 1);
         for p in exec.programs() {
@@ -437,7 +441,7 @@ mod tests {
         let mut exec = Executor::new(&g, ModelParams::hybrid(10), |v| {
             FloodProgram::new([v as u64], budget)
         });
-        exec.run_until(budget, |_| false);
+        exec.run_capped(budget, |_| false);
         // Node 0 should know exactly tokens 0..=3 (its 3-ball on the path).
         let known: Vec<u64> = exec.programs()[0].known.iter().copied().collect();
         assert_eq!(known, vec![0, 1, 2, 3]);
@@ -450,7 +454,7 @@ mod tests {
         let mut exec = Executor::new(&g, ModelParams::hybrid(g.n()), |v| {
             BfsProgram::new(v, source)
         });
-        let report = exec.run(100);
+        let report = exec.run().unwrap();
         assert!(report.completed);
         let reference = hybrid_graph::traversal::bfs(&g, source);
         for (v, p) in exec.programs().iter().enumerate() {
@@ -464,10 +468,10 @@ mod tests {
     fn ack_flood_matches_plain_flooding_when_failure_free() {
         let g = generators::grid(&[5, 5]).unwrap();
         let d = properties::diameter(&g);
-        let mut exec = Executor::new(&g, ModelParams::hybrid(25), |v| {
-            AckFloodProgram::new([v as u64], 25, 2)
-        });
-        let report = exec.run(4 * d + 4);
+        let config = EngineConfig::new(ModelParams::hybrid(25)).with_max_rounds(4 * d + 4);
+        let mut exec =
+            Executor::with_config(&g, config, |v| AckFloodProgram::new([v as u64], 25, 2));
+        let report = exec.run().unwrap();
         assert!(report.completed);
         // One extra round versus plain flooding is the ack round-trip slack.
         assert!(report.rounds <= d + 2, "took {} rounds", report.rounds);
@@ -491,12 +495,12 @@ mod tests {
 
         // Naive: floods once per new batch, no retries.  A single dropped
         // frontier message permanently stalls the wave on a path.
-        let mut naive = Executor::new(&g, params, |v| {
+        let naive_config = EngineConfig::new(params).with_fault_plan(plan.clone());
+        let mut naive = Executor::with_config(&g, naive_config, |v| {
             let initial = if v == 0 { tokens.clone() } else { vec![] };
             FloodProgram::new(initial, 5_000)
         });
-        naive.set_fault_plan(plan.clone());
-        naive.run_until(5_000, |ps| ps.iter().all(|p| p.known.len() >= k));
+        naive.run_capped(5_000, |ps| ps.iter().all(|p| p.known.len() >= k));
         let naive_informed = naive
             .programs()
             .iter()
@@ -509,12 +513,14 @@ mod tests {
         );
 
         // Ack/retry: same graph, same adversary, same seed — completes.
-        let mut ack = Executor::new(&g, params, |v| {
+        let ack_config = EngineConfig::new(params)
+            .with_fault_plan(plan)
+            .with_max_rounds(5_000);
+        let mut ack = Executor::with_config(&g, ack_config, |v| {
             let initial = if v == 0 { tokens.clone() } else { vec![] };
             AckFloodProgram::new(initial, k, 2)
         });
-        ack.set_fault_plan(plan);
-        let report = ack.run(5_000);
+        let report = ack.run().expect("ack/retry dissemination must complete");
         assert!(report.completed, "ack/retry dissemination must complete");
         assert!(report.injected_drops > 0, "the adversary was active");
         for p in ack.programs() {
@@ -529,14 +535,16 @@ mod tests {
         for (drop, budget) in [(0.3, 2_000u64), (0.6, 4_000), (0.9, 20_000)] {
             let n = 12usize;
             let g = generators::cycle(n).unwrap();
-            let mut exec = Executor::new(&g, ModelParams::hybrid(n), |v| {
+            let config = EngineConfig::new(ModelParams::hybrid(n))
+                .with_fault_plan(FaultPlan::new(FaultSpec::drop_only(drop), 42, n))
+                .with_max_rounds(budget);
+            let mut exec = Executor::with_config(&g, config, |v| {
                 let initial = if v == 0 { vec![7u64] } else { vec![] };
                 AckFloodProgram::new(initial, 1, 2)
             });
-            exec.set_fault_plan(FaultPlan::new(FaultSpec::drop_only(drop), 42, n));
-            let report = exec.run(budget);
+            let report = exec.run();
             assert!(
-                report.completed,
+                report.is_ok(),
                 "drop rate {drop}: not everyone informed after {budget} rounds"
             );
         }
@@ -560,12 +568,14 @@ mod tests {
             partition_start: 4,
             partition_rounds: 8,
         };
-        let mut exec = Executor::new(&g, ModelParams::hybrid(n), |v| {
+        let config = EngineConfig::new(ModelParams::hybrid(n))
+            .with_fault_plan(FaultPlan::new(spec, 4, n))
+            .with_max_rounds(10_000);
+        let mut exec = Executor::with_config(&g, config, |v| {
             let initial = if v == 0 { vec![1u64, 2, 3] } else { vec![] };
             AckFloodProgram::new(initial, 3, 2)
         });
-        exec.set_fault_plan(FaultPlan::new(spec, 4, n));
-        let report = exec.run(10_000);
+        let report = exec.run().expect("combined adversary defeated ack/retry");
         assert!(report.completed, "combined adversary defeated ack/retry");
         for p in exec.programs() {
             assert_eq!(p.known.len(), 3);
@@ -578,10 +588,11 @@ mod tests {
         let k = 4usize;
         let g = generators::path(n).unwrap();
         let tokens: Vec<u64> = (0..k as u64).collect();
-        let mut exec = Executor::new(&g, ModelParams::hybrid(n), |v| {
+        let config = EngineConfig::new(ModelParams::hybrid(n)).with_max_rounds(10 * (n + k) as u64);
+        let mut exec = Executor::with_config(&g, config, |v| {
             DetForwardProgram::new(if v == 0 { tokens.clone() } else { vec![] }, k)
         });
-        let report = exec.run(10 * (n + k) as u64);
+        let report = exec.run().unwrap();
         assert!(report.completed);
         for p in exec.programs() {
             assert_eq!(p.known.len(), k);
@@ -610,7 +621,7 @@ mod tests {
                 };
                 DetForwardProgram::new(initial, k)
             });
-            let report = exec.run(5_000);
+            let report = exec.run_capped(5_000, |ps| ps.iter().all(|p| p.done()));
             assert!(report.completed);
             let sets: Vec<Vec<u64>> = exec
                 .programs()
@@ -641,7 +652,7 @@ mod tests {
             };
             TokenGossipProgram::new(v, 30, initial, k, 7)
         });
-        let report = exec.run(500);
+        let report = exec.run_capped(500, |ps| ps.iter().all(|p| p.done()));
         assert!(report.completed, "gossip did not finish in 500 rounds");
         for p in exec.programs() {
             assert_eq!(p.known.len(), k);

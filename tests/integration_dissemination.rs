@@ -9,7 +9,7 @@ use hybrid::core::dissemination::{place_tokens, RadiusPolicy};
 use hybrid::core::lower_bounds::dissemination_lower_bound;
 use hybrid::core::routing::baseline_sqrt_k_routing;
 use hybrid::prelude::*;
-use hybrid::sim::engine::Executor;
+use hybrid::sim::engine::{Executor, NodeProgram};
 use hybrid::sim::programs::TokenGossipProgram;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -165,7 +165,7 @@ fn phase_engine_and_message_passing_engine_agree_on_delivery() {
         };
         TokenGossipProgram::new(v, graph.n(), initial, k, 99)
     });
-    let gossip = exec.run(5_000);
+    let gossip = exec.run_capped(5_000, |ps| ps.iter().all(|p| p.done()));
     assert!(gossip.completed, "gossip never finished");
     assert_eq!(
         gossip.refused_sends, 0,

@@ -3,13 +3,21 @@
 //! The build environment has no access to crates.io, so this workspace ships
 //! a minimal, dependency-free replacement that covers exactly the surface the
 //! repository uses: `#[derive(Serialize, Deserialize)]` on plain structs and
-//! enums, plus JSON emission through the sibling `serde_json` stand-in.
+//! enums, plus JSON emission *and parsing* through the sibling `serde_json`
+//! stand-in.
 //!
 //! Design: instead of serde's visitor architecture, [`Serialize`] converts a
-//! value into an owned JSON [`Value`] tree which `serde_json` renders.  That
-//! is entirely sufficient for the result files the benchmarks write, and it
-//! keeps the stand-in ~200 lines.  [`Deserialize`] is a marker trait: nothing
-//! in the repository parses JSON back (results are read by Python/jq in CI).
+//! value into an owned JSON [`Value`] tree which `serde_json` renders, and
+//! [`Deserialize`] reconstructs a value from such a tree (which `serde_json`
+//! parses out of text).  That is entirely sufficient for the result files the
+//! benchmarks write and for the framed envelopes the networked node runtime
+//! exchanges, and it keeps the stand-in small.
+//!
+//! The derive macro emits serde's default *externally tagged* representation
+//! for enums and name-keyed objects for structs, so the JSON stays stable if
+//! the workspace ever moves to real serde.  Deserialization looks fields up
+//! **by name** (not position), tolerates extra keys, and reports missing or
+//! mistyped fields through [`DeError`].
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -34,6 +42,78 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// A short tag naming the variant, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Looks up `key` in an object (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is an integral number `>= 0`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(x) => Some(x),
+            Value::Int(x) => u64::try_from(x).ok(),
+            Value::Float(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => {
+                Some(x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if it is an integral number in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(x) => Some(x),
+            Value::UInt(x) => i64::try_from(x).ok(),
+            Value::Float(x) if x.fract() == 0.0 && x >= i64::MIN as f64 && x <= i64::MAX as f64 => {
+                Some(x as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is any JSON number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::UInt(x) => Some(x as f64),
+            Value::Int(x) => Some(x as f64),
+            Value::Float(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
 /// Conversion of a Rust value into a JSON [`Value`] tree.
 ///
 /// This trait plays the role of `serde::Serialize`; the derive macro emits a
@@ -44,38 +124,96 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait standing in for `serde::Deserialize`.
-///
-/// No code in this repository deserializes, so the derive emits an empty
-/// implementation purely to keep `#[derive(Deserialize)]` compiling.
-pub trait Deserialize<'de>: Sized {}
+/// Error produced when a JSON [`Value`] does not match the expected shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
 
-macro_rules! impl_serialize_uint {
+impl DeError {
+    /// Convenience constructor for "expected X, got Y" mismatches.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Reconstruction of a Rust value from a JSON [`Value`] tree.
+///
+/// This trait plays the role of `serde::Deserialize`.  The lifetime parameter
+/// mirrors real serde's signature (all stand-in deserialization is owned, so
+/// it is unused); bound owned deserialization through [`DeserializeOwned`].
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from the JSON tree.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
+
+/// A value deserializable without borrowing from the input — the stand-in's
+/// counterpart of `serde::de::DeserializeOwned` (every stand-in impl is).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+macro_rules! impl_serde_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value {
                 Value::UInt(*self as u64)
             }
         }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let x = value
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", value))?;
+                <$t>::try_from(x).map_err(|_| {
+                    DeError(format!("{x} out of range for {}", stringify!($t)))
+                })
+            }
+        }
     )*};
 }
 
-macro_rules! impl_serialize_int {
+macro_rules! impl_serde_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_value(&self) -> Value {
                 Value::Int(*self as i64)
             }
         }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let x = value
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("integer", value))?;
+                <$t>::try_from(x).map_err(|_| {
+                    DeError(format!("{x} out of range for {}", stringify!($t)))
+                })
+            }
+        }
     )*};
 }
 
-impl_serialize_uint!(u8, u16, u32, u64, usize);
-impl_serialize_int!(i8, i16, i32, i64, isize);
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_int!(i8, i16, i32, i64, isize);
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", value)),
+        }
     }
 }
 
@@ -85,9 +223,26 @@ impl Serialize for f64 {
     }
 }
 
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::expected("number", value))
+    }
+}
+
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::Float(*self as f64)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| DeError::expected("number", value))
     }
 }
 
@@ -100,6 +255,30 @@ impl Serialize for str {
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", value)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", value)),
+        }
     }
 }
 
@@ -118,9 +297,27 @@ impl<T: Serialize> Serialize for Option<T> {
     }
 }
 
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| DeError::expected("array", value))?;
+        items.iter().map(T::deserialize).collect()
     }
 }
 
@@ -142,6 +339,15 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     }
 }
 
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value.as_array() {
+            Some([a, b]) => Ok((A::deserialize(a)?, B::deserialize(b)?)),
+            _ => Err(DeError::expected("array of length 2", value)),
+        }
+    }
+}
+
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
         Value::Array(vec![
@@ -152,9 +358,26 @@ impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     }
 }
 
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value.as_array() {
+            Some([a, b, c]) => Ok((A::deserialize(a)?, B::deserialize(b)?, C::deserialize(c)?)),
+            _ => Err(DeError::expected("array of length 3", value)),
+        }
+    }
+}
+
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
     }
 }
 
@@ -177,5 +400,56 @@ mod tests {
             (1u8, "a").to_value(),
             Value::Array(vec![Value::UInt(1), Value::Str("a".into())])
         );
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::deserialize(&7u32.to_value()), Ok(7));
+        assert_eq!(u64::deserialize(&Value::UInt(u64::MAX)), Ok(u64::MAX));
+        assert_eq!(i64::deserialize(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(bool::deserialize(&true.to_value()), Ok(true));
+        assert_eq!(f64::deserialize(&Value::Float(1.5)), Ok(1.5));
+        assert_eq!(f64::deserialize(&Value::UInt(3)), Ok(3.0));
+        assert_eq!(String::deserialize(&"x".to_value()), Ok("x".to_string()));
+        assert_eq!(<()>::deserialize(&Value::Null), Ok(()));
+        assert_eq!(
+            Vec::<u64>::deserialize(&vec![1u64, 2].to_value()),
+            Ok(vec![1, 2])
+        );
+        assert_eq!(Option::<u32>::deserialize(&Value::Null), Ok(None::<u32>));
+        assert_eq!(Option::<u32>::deserialize(&Value::UInt(5)), Ok(Some(5)));
+        assert_eq!(
+            <(u32, String)>::deserialize(&(7u32, "y").to_value()),
+            Ok((7, "y".to_string()))
+        );
+        assert_eq!(
+            <(u8, u8, u8)>::deserialize(&(1u8, 2u8, 3u8).to_value()),
+            Ok((1, 2, 3))
+        );
+    }
+
+    #[test]
+    fn shape_mismatches_are_typed_errors() {
+        assert!(u32::deserialize(&Value::Str("7".into())).is_err());
+        assert!(u8::deserialize(&Value::UInt(300)).is_err());
+        assert!(u64::deserialize(&Value::Int(-1)).is_err());
+        assert!(bool::deserialize(&Value::UInt(1)).is_err());
+        assert!(String::deserialize(&Value::Null).is_err());
+        assert!(Vec::<u64>::deserialize(&Value::UInt(1)).is_err());
+        assert!(<(u8, u8)>::deserialize(&vec![1u8].to_value()).is_err());
+        let err = u32::deserialize(&Value::Bool(true)).unwrap_err();
+        assert!(err.to_string().contains("expected unsigned integer"));
+    }
+
+    #[test]
+    fn value_accessors() {
+        let obj = Value::Object(vec![("k".into(), Value::UInt(1))]);
+        assert_eq!(obj.get("k"), Some(&Value::UInt(1)));
+        assert_eq!(obj.get("missing"), None);
+        assert_eq!(Value::Int(3).as_u64(), Some(3));
+        assert_eq!(Value::Int(-3).as_u64(), None);
+        assert_eq!(Value::Float(2.0).as_i64(), Some(2));
+        assert_eq!(Value::Float(2.5).as_i64(), None);
+        assert_eq!(Value::deserialize(&obj), Ok(obj.clone()));
     }
 }

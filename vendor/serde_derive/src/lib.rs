@@ -260,11 +260,144 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("generated Serialize impl must parse")
 }
 
-/// Derives the stand-in `Deserialize` marker implementation.
+/// Emits code reconstructing a named-field set from an object, as a struct
+/// literal body `f1: ..., f2: ...` (field lookup is by name, extra keys are
+/// ignored, missing keys are typed errors — mirroring serde's defaults).
+fn named_fields_body(context: &str, obj_expr: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize({obj_expr}.iter()\
+                 .find(|(k, _)| k == \"{f}\").map(|(_, v)| v)\
+                 .ok_or_else(|| ::serde::DeError(\
+                 \"missing field `{f}` in {context}\".to_string()))?)?"
+            )
+        })
+        .collect();
+    inits.join(", ")
+}
+
+/// Derives the stand-in `Deserialize` (JSON tree reconstruction).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let (name, _) = parse_item(input);
-    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
-        .parse()
-        .expect("generated Deserialize impl must parse")
+    let (name, shape) = parse_item(input);
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let inits = named_fields_body(&name, "entries", &fields);
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Object(entries) => {{\n\
+                         let _ = &entries;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                     other => Err(::serde::DeError::expected(\"object for {name}\", other)),\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct(arity) => {
+            let inits: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value.as_array() {{\n\
+                     Some(items) if items.len() == {arity} => \
+                         Ok({name}({inits})),\n\
+                     _ => Err(::serde::DeError::expected(\
+                         \"array of length {arity} for {name}\", value)),\n\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            // Externally tagged: unit variants are plain strings, data-bearing
+            // variants are single-key objects `{"Variant": payload}`.
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(v) => Some(format!("\"{v}\" => Ok({name}::{v})")),
+                    _ => None,
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Tuple(v, 1) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::deserialize(payload)?))"
+                    )),
+                    Variant::Tuple(v, arity) => {
+                        let inits: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => match payload.as_array() {{\n\
+                                 Some(items) if items.len() == {arity} => \
+                                     Ok({name}::{v}({inits})),\n\
+                                 _ => Err(::serde::DeError::expected(\
+                                     \"array of length {arity} for {name}::{v}\", payload)),\n\
+                             }}",
+                            inits = inits.join(", ")
+                        ))
+                    }
+                    Variant::Struct(v, fields) => {
+                        let inits = named_fields_body(&format!("{name}::{v}"), "entries", fields);
+                        Some(format!(
+                            "\"{v}\" => match payload {{\n\
+                                 ::serde::Value::Object(entries) => {{\n\
+                                     let _ = &entries;\n\
+                                     Ok({name}::{v} {{ {inits} }})\n\
+                                 }}\n\
+                                 other => Err(::serde::DeError::expected(\
+                                     \"object for {name}::{v}\", other)),\n\
+                             }}"
+                        ))
+                    }
+                })
+                .collect();
+            let unit_match = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {},\n\
+                         other => Err(::serde::DeError(format!(\
+                             \"unknown {name} variant `{{other}}`\"))),\n\
+                     }},",
+                    unit_arms.join(",\n")
+                )
+            };
+            let tagged_match = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {},\n\
+                             other => Err(::serde::DeError(format!(\
+                                 \"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }},",
+                    tagged_arms.join(",\n")
+                )
+            };
+            format!(
+                "match value {{\n\
+                     {unit_match}\n\
+                     {tagged_match}\n\
+                     other => Err(::serde::DeError::expected(\
+                         \"externally tagged {name}\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
 }

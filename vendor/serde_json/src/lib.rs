@@ -1,16 +1,33 @@
 //! Offline stand-in for `serde_json`: renders the in-tree [`serde::Value`]
-//! model as JSON text.  Only the serialization entry points the repository
-//! uses are provided (`to_string`, `to_string_pretty`).
+//! model as JSON text and parses JSON text back into it.  The entry points
+//! the repository uses are provided: `to_string` / `to_string_pretty` for
+//! serialization, and [`from_str`] / [`value_from_str`] for the framed
+//! envelopes of the networked node runtime.
+//!
+//! The parser is a strict recursive-descent reader over the full JSON
+//! grammar (nested arrays/objects, escape sequences including `\uXXXX`
+//! surrogate pairs, signed/unsigned/float numbers).  Integral numbers parse
+//! to [`serde::Value::UInt`]/[`serde::Value::Int`], so a serialize→parse
+//! round trip reproduces the original tree bit-for-bit for the integer-only
+//! payloads the engine exchanges (floats rendered with a forced decimal
+//! point round-trip as floats).
 
-use serde::{Serialize, Value};
+use serde::{DeserializeOwned, Serialize, Value};
 
-/// Error type kept for API compatibility; rendering never fails.
-#[derive(Debug)]
-pub struct Error;
+/// Error raised by JSON parsing (and kept in serialization signatures for
+/// API compatibility; rendering itself never fails).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "serde_json stand-in error")
+        write!(f, "serde_json stand-in error: {}", self.0)
     }
 }
 
@@ -31,6 +48,264 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
     let mut out = String::new();
     write_value(&value.to_value(), &mut out, Some(2), 0);
     Ok(out)
+}
+
+/// Parses JSON text into a typed value via its `Deserialize` impl.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
+    let value = value_from_str(s)?;
+    T::deserialize(&value).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Parses JSON text into the generic [`Value`] tree.
+pub fn value_from_str(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::new(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a low surrogate must follow.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.parse_hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(Error::new("invalid low surrogate"));
+                                    }
+                                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| Error::new("invalid surrogate pair"))?
+                                } else {
+                                    return Err(Error::new("lone high surrogate"));
+                                }
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(Error::new("invalid escape sequence")),
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(Error::new("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (the input is a &str, so
+                    // slicing at a char boundary is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::new("invalid \\u escape"))?;
+        let x = u32::from_str_radix(s, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(x)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits_start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == int_digits_start {
+            return Err(Error::new(format!("invalid number at byte {start}")));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number bytes");
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(x) = text.parse::<i64>() {
+                    return Ok(Value::Int(x));
+                }
+            } else if let Ok(x) = text.parse::<u64>() {
+                return Ok(Value::UInt(x));
+            }
+            // Out-of-range integer: fall through to float.
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
 }
 
 fn write_indent(out: &mut String, indent: Option<usize>, depth: usize) {
@@ -146,5 +421,87 @@ mod tests {
     fn escapes_strings() {
         let v = Value::Str("a\"b\\c\nd".into());
         assert_eq!(to_string(&v).unwrap(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn parses_every_value_kind() {
+        let v = value_from_str(
+            r#" {"u": 18446744073709551615, "i": -3, "f": 2.5, "e": 1e3,
+                "s": "a\"b\\c\n\u00e9\ud83d\ude00", "t": true, "nil": null,
+                "arr": [1, [2], {}], "obj": {"nested": []}} "#,
+        )
+        .unwrap();
+        assert_eq!(v.get("u"), Some(&Value::UInt(u64::MAX)));
+        assert_eq!(v.get("i"), Some(&Value::Int(-3)));
+        assert_eq!(v.get("f"), Some(&Value::Float(2.5)));
+        assert_eq!(v.get("e"), Some(&Value::Float(1000.0)));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("a\"b\\c\né😀"));
+        assert_eq!(v.get("t"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("nil"), Some(&Value::Null));
+        assert_eq!(
+            v.get("arr"),
+            Some(&Value::Array(vec![
+                Value::UInt(1),
+                Value::Array(vec![Value::UInt(2)]),
+                Value::Object(vec![]),
+            ]))
+        );
+    }
+
+    #[test]
+    fn integer_trees_round_trip_bit_for_bit() {
+        let v = Value::Object(vec![
+            ("src".into(), Value::UInt(3)),
+            ("dst".into(), Value::UInt(7)),
+            ("round".into(), Value::UInt(12)),
+            (
+                "body".into(),
+                Value::Array(vec![Value::UInt(0), Value::UInt(u64::MAX)]),
+            ),
+        ]);
+        let text = to_string(&v).unwrap();
+        let parsed = value_from_str(&text).unwrap();
+        assert_eq!(parsed, v);
+        assert_eq!(to_string(&parsed).unwrap(), text);
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let xs: Vec<u64> = from_str("[1,2,3]").unwrap();
+        assert_eq!(xs, vec![1, 2, 3]);
+        let pair: (u32, String) = from_str(r#"[7,"x"]"#).unwrap();
+        assert_eq!(pair, (7, "x".to_string()));
+        assert!(from_str::<Vec<u64>>("{}").is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "\"abc",
+            "{\"a\" 1}",
+            "[1] x",
+            "-",
+            "{\"a\":}",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "\"\u{1}\"",
+        ] {
+            assert!(value_from_str(bad).is_err(), "accepted malformed `{bad}`");
+        }
+    }
+
+    #[test]
+    fn floats_and_pretty_round_trip() {
+        let text = to_string(&Value::Float(1.0)).unwrap();
+        assert_eq!(text, "1.0");
+        assert_eq!(value_from_str(&text).unwrap(), Value::Float(1.0));
+        let v = Value::Array(vec![Value::UInt(1), Value::Str("x".into())]);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(value_from_str(&pretty).unwrap(), v);
     }
 }
